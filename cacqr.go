@@ -1,0 +1,327 @@
+// Package cacqr is the public API of the CA-CQR2 reproduction: scalable
+// CholeskyQR2 factorization of tall rectangular matrices, after
+//
+//	E. Hutter and E. Solomonik, "Communication-avoiding CholeskyQR2 for
+//	rectangular matrices", IPDPS 2019 (arXiv:1710.08471).
+//
+// The package offers three layers:
+//
+//   - Sequential factorizations (CholeskyQR2, ShiftedCQR3, HouseholderQR)
+//     for direct use on dense matrices.
+//   - FactorizeOnGrid, which executes the paper's CA-CQR2 algorithm over
+//     a simulated c × d × c processor grid (goroutine ranks with exact
+//     α-β-γ cost accounting) and reports both the factors and the
+//     measured per-processor communication/computation costs.
+//   - The validated cost model (Model* functions and Machine values) for
+//     predicting performance at supercomputer scale.
+package cacqr
+
+import (
+	"fmt"
+	"time"
+
+	"cacqr/internal/core"
+	"cacqr/internal/costmodel"
+	"cacqr/internal/dist"
+	"cacqr/internal/grid"
+	"cacqr/internal/lin"
+	"cacqr/internal/simmpi"
+	"cacqr/internal/tsqr"
+)
+
+// Dense is a row-major dense matrix, the package's public exchange type.
+type Dense struct {
+	Rows, Cols int
+	Data       []float64 // length Rows*Cols, row-major
+}
+
+// NewDense allocates a zeroed r×c matrix.
+func NewDense(r, c int) *Dense {
+	return &Dense{Rows: r, Cols: c, Data: make([]float64, r*c)}
+}
+
+// FromData wraps row-major data (copied) in a Dense.
+func FromData(r, c int, data []float64) (*Dense, error) {
+	if len(data) != r*c {
+		return nil, fmt.Errorf("cacqr: %d values for a %dx%d matrix", len(data), r, c)
+	}
+	d := NewDense(r, c)
+	copy(d.Data, data)
+	return d, nil
+}
+
+// At returns element (i, j).
+func (d *Dense) At(i, j int) float64 { return d.Data[i*d.Cols+j] }
+
+// Set assigns element (i, j).
+func (d *Dense) Set(i, j int, v float64) { d.Data[i*d.Cols+j] = v }
+
+func (d *Dense) toLin() *lin.Matrix { return lin.FromSlice(d.Rows, d.Cols, d.Data) }
+
+func fromLin(m *lin.Matrix) *Dense {
+	out := NewDense(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		copy(out.Data[i*m.Cols:(i+1)*m.Cols], m.Data[i*m.Stride:i*m.Stride+m.Cols])
+	}
+	return out
+}
+
+// CholeskyQR2 computes the reduced QR factorization A = Q·R by two
+// CholeskyQR passes. Q has orthonormal columns to machine precision when
+// κ(A) ≲ 10⁷; beyond that it returns an error (use ShiftedCQR3).
+func CholeskyQR2(a *Dense) (q, r *Dense, err error) {
+	ql, rl, err := core.CholeskyQR2(a.toLin())
+	if err != nil {
+		return nil, nil, err
+	}
+	return fromLin(ql), fromLin(rl), nil
+}
+
+// ShiftedCQR3 is the unconditionally stable three-pass variant: a shifted
+// CholeskyQR pass followed by CholeskyQR2.
+func ShiftedCQR3(a *Dense) (q, r *Dense, err error) {
+	ql, rl, err := core.ShiftedCQR3(a.toLin())
+	if err != nil {
+		return nil, nil, err
+	}
+	return fromLin(ql), fromLin(rl), nil
+}
+
+// HouseholderQR is the classical reference factorization.
+func HouseholderQR(a *Dense) (q, r *Dense, err error) {
+	ql, rl, err := lin.QR(a.toLin())
+	if err != nil {
+		return nil, nil, err
+	}
+	return fromLin(ql), fromLin(rl), nil
+}
+
+// OrthogonalityError returns ‖QᵀQ − I‖_F.
+func OrthogonalityError(q *Dense) float64 { return lin.OrthogonalityError(q.toLin()) }
+
+// ResidualNorm returns ‖A − Q·R‖_F / ‖A‖_F.
+func ResidualNorm(a, q, r *Dense) float64 {
+	return lin.ResidualNorm(a.toLin(), q.toLin(), r.toLin())
+}
+
+// RandomMatrix returns a deterministic random m×n test matrix.
+func RandomMatrix(m, n int, seed int64) *Dense {
+	return fromLin(lin.RandomMatrix(m, n, seed))
+}
+
+// RandomWithCond returns an m×n matrix with 2-norm condition number cond.
+func RandomWithCond(m, n int, cond float64, seed int64) *Dense {
+	return fromLin(lin.RandomWithCond(m, n, cond, seed))
+}
+
+// GridSpec selects the paper's tunable c × d × c processor grid
+// (P = c·d·c ranks). C = 1 recovers the 1D algorithm; C = D is the 3D
+// algorithm.
+type GridSpec struct {
+	C, D int
+}
+
+// Procs returns the rank count of the grid.
+func (g GridSpec) Procs() int { return g.C * g.D * g.C }
+
+// Options tune the factorization like the paper's experiment legends.
+type Options struct {
+	// InverseDepth is the number of top CFR3D recursion levels that skip
+	// the explicit triangular-inverse block (0 = full inverse).
+	InverseDepth int
+	// BaseSize is CFR3D's base-case dimension n_o (0 = the
+	// bandwidth-optimal default n/c²).
+	BaseSize int
+	// PanelWidth, when > 0, selects the panel-wise variant (the paper's
+	// §V subpanel proposal): columns are processed in panels of this
+	// width, cutting the flop overhead for near-square matrices.
+	// Requires c | PanelWidth and PanelWidth | n.
+	PanelWidth int
+	// Timeout bounds the simulated run's wall-clock time (0 = 10min).
+	Timeout time.Duration
+}
+
+// CostStats reports a run's measured per-processor cost in the paper's
+// α-β-γ units, plus the critical-path virtual time under the default
+// machine parameters.
+type CostStats struct {
+	Msgs  int64   // α units: message latencies on the critical path
+	Words int64   // β units: words moved per processor
+	Flops int64   // γ units: floating point operations per processor
+	Time  float64 // virtual seconds under simmpi.DefaultCost
+}
+
+// Result carries the distributed factorization's outcome.
+type Result struct {
+	Q, R  *Dense
+	Stats CostStats
+}
+
+// FactorizeOnGrid runs CA-CQR2 on a simulated grid: the m×n matrix is
+// scattered from rank 0 in the paper's cyclic layout over P = c·d·c
+// goroutine ranks (replicated across depth slices by the grid's z
+// broadcast, as a cluster would load it), factored, and the factors
+// gathered back. Requires d | m and c | n.
+func FactorizeOnGrid(a *Dense, spec GridSpec, opts Options) (*Result, error) {
+	m, n := a.Rows, a.Cols
+	if spec.C < 1 || spec.D < spec.C || spec.D%spec.C != 0 {
+		return nil, fmt.Errorf("cacqr: invalid grid %dx%dx%d (need 1 ≤ c ≤ d, c | d)", spec.C, spec.D, spec.C)
+	}
+	global := a.toLin()
+	timeout := opts.Timeout
+	if timeout == 0 {
+		timeout = 10 * time.Minute
+	}
+
+	var q, r *lin.Matrix
+	st, err := simmpi.RunWithOptions(spec.Procs(), simmpi.Options{Timeout: timeout}, func(p *simmpi.Proc) error {
+		g, err := grid.New(p.World(), spec.C, spec.D)
+		if err != nil {
+			return err
+		}
+		// Scatter from the grid's rank 0 across slice z=0, then
+		// replicate across depth: the faithful cluster loading path.
+		var rootGlobal *lin.Matrix
+		if g.Slice.Index() == 0 && g.Z == 0 {
+			rootGlobal = global
+		}
+		var ad *dist.Matrix
+		if g.Z == 0 {
+			ad, err = dist.Scatter(g.Slice, 0, rootGlobal, m, n, spec.D, spec.C)
+			if err != nil {
+				return err
+			}
+		}
+		var flat []float64
+		if g.Z == 0 {
+			flat = dist.Flatten(ad.Local)
+		}
+		flat, err = g.ZComm.Bcast(0, flat)
+		if err != nil {
+			return err
+		}
+		local, err := dist.Unflatten(m/spec.D, n/spec.C, flat)
+		if err != nil {
+			return err
+		}
+		ad = &dist.Matrix{M: m, N: n, PR: spec.D, PC: spec.C, Row: g.Y, Col: g.X, Local: local}
+		prm := core.Params{InverseDepth: opts.InverseDepth, BaseSize: opts.BaseSize}
+		var qL, rL *lin.Matrix
+		if opts.PanelWidth > 0 {
+			qL, rL, err = core.PanelCACQR2(g, ad.Local, m, n, opts.PanelWidth, prm)
+		} else {
+			qL, rL, err = core.CACQR2(g, ad.Local, m, n, prm)
+		}
+		if err != nil {
+			return err
+		}
+		qG, err := dist.Gather(g.Slice, qL, m, n, spec.D, spec.C)
+		if err != nil {
+			return err
+		}
+		rG, err := dist.Gather(g.Cube.Slice, rL, n, n, spec.C, spec.C)
+		if err != nil {
+			return err
+		}
+		if p.Rank() == 0 {
+			q, r = qG, rG
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Q: fromLin(q),
+		R: fromLin(r),
+		Stats: CostStats{
+			Msgs: st.MaxMsgs, Words: st.MaxWords, Flops: st.MaxFlops, Time: st.Time,
+		},
+	}, nil
+}
+
+// FactorizeTSQR factors a tall-skinny matrix with the binary-tree TSQR
+// baseline on a simulated 1D grid of procs ranks (a power of two). TSQR
+// is unconditionally stable — the right tool when κ(A) exceeds
+// CholeskyQR2's ~1/√ε regime — at the price of a log P critical path of
+// small factorizations. panelWidth > 0 selects the blocked variant,
+// which only needs m/procs ≥ panelWidth instead of m/procs ≥ n.
+func FactorizeTSQR(a *Dense, procs, panelWidth int, opts Options) (*Result, error) {
+	m, n := a.Rows, a.Cols
+	global := a.toLin()
+	timeout := opts.Timeout
+	if timeout == 0 {
+		timeout = 10 * time.Minute
+	}
+	var q, r *lin.Matrix
+	st, err := simmpi.RunWithOptions(procs, simmpi.Options{Timeout: timeout}, func(p *simmpi.Proc) error {
+		if m%procs != 0 {
+			return fmt.Errorf("cacqr: m=%d not divisible by P=%d", m, procs)
+		}
+		local := global.View(p.Rank()*(m/procs), 0, m/procs, n).Clone()
+		var qL, rL *lin.Matrix
+		var err error
+		if panelWidth > 0 {
+			qL, rL, err = tsqr.BlockedFactor(p.World(), local, m, n, panelWidth)
+		} else {
+			qL, rL, err = tsqr.Factor(p.World(), local, m, n)
+		}
+		if err != nil {
+			return err
+		}
+		flat, err := p.World().Allgather(dist.Flatten(qL))
+		if err != nil {
+			return err
+		}
+		qG, err := dist.Unflatten(m, n, flat)
+		if err != nil {
+			return err
+		}
+		if p.Rank() == 0 {
+			q, r = qG, rL
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Q: fromLin(q),
+		R: fromLin(r),
+		Stats: CostStats{
+			Msgs: st.MaxMsgs, Words: st.MaxWords, Flops: st.MaxFlops, Time: st.Time,
+		},
+	}, nil
+}
+
+// Machine re-exports the cost model's machine description.
+type Machine = costmodel.Machine
+
+// Stampede2 and BlueWaters are the paper's two evaluation platforms.
+var (
+	Stampede2  = costmodel.Stampede2
+	BlueWaters = costmodel.BlueWaters
+)
+
+// ModelCost is the per-processor critical-path cost predicted by the
+// validated analytic model.
+type ModelCost = costmodel.Cost
+
+// ModelCACQR2 predicts CA-CQR2's cost for an m×n matrix on a c×d×c grid.
+func ModelCACQR2(m, n int, spec GridSpec, opts Options) (ModelCost, error) {
+	return costmodel.CACQR2(m, n, costmodel.CACQRParams{
+		C: spec.C, D: spec.D, BaseSize: opts.BaseSize, InverseDepth: opts.InverseDepth,
+	})
+}
+
+// ModelPGEQRF predicts the ScaLAPACK-style baseline's cost on a pr×pc
+// grid with panel width nb.
+func ModelPGEQRF(m, n, pr, pc, nb int) (ModelCost, error) {
+	return costmodel.PGEQRF(m, n, pr, pc, nb)
+}
+
+// PredictGFlopsPerNode converts a modeled cost into the paper's
+// Gigaflops/s/node metric on a machine with the given node count.
+func PredictGFlopsPerNode(mach Machine, c ModelCost, m, n, nodes int) float64 {
+	return mach.GFlopsPerNode(c, m, n, nodes)
+}

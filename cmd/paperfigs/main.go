@@ -1,0 +1,108 @@
+// Command paperfigs regenerates every table and figure of the paper's
+// evaluation section.
+//
+// Usage:
+//
+//	paperfigs                 # everything
+//	paperfigs -exp fig7       # one experiment family
+//	paperfigs -list           # list experiment ids
+//
+// Scaling figures come from the cost model (validated against
+// instrumented runs of the real algorithms — see internal/costmodel's
+// tests); tables and traces execute the real distributed algorithms on
+// the simulated MPI runtime.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cacqr/internal/bench"
+)
+
+type experiment struct {
+	id   string
+	desc string
+	run  func() (string, error)
+}
+
+var csvOut bool
+
+func figToString(f *bench.Figure) string {
+	if csvOut {
+		return "# " + f.ID + " — " + f.Title + "\n" + f.RenderCSV()
+	}
+	return f.Render()
+}
+
+func figsToString(figs []*bench.Figure) string {
+	var b strings.Builder
+	for _, f := range figs {
+		b.WriteString(figToString(f))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func experiments() []experiment {
+	return []experiment{
+		{"table1", "Table I: asymptotic cost scaling exponents", func() (string, error) { return bench.Table1(), nil }},
+		{"table2", "Table II: per-line costs of CFR3D", bench.Table2},
+		{"table34", "Tables III-IV: per-line costs of 1D-CQR/CQR2", bench.Table34},
+		{"table56", "Tables V-VI: per-line costs of CA-CQR/CQR2", bench.Table56},
+		{"fig1a", "Figure 1(a): strong-scaling best variants, Stampede2", func() (string, error) { return figToString(bench.Fig1a()), nil }},
+		{"fig1b", "Figure 1(b): weak-scaling best variants, Stampede2", func() (string, error) { return figToString(bench.Fig1b()), nil }},
+		{"fig2", "Figure 2: 1D-CQR algorithm steps (real run)", bench.Fig2Trace},
+		{"fig3", "Figure 3: CA-CQR algorithm steps (real run)", bench.Fig3Trace},
+		{"fig4", "Figure 4: weak scaling, Blue Waters", func() (string, error) { return figsToString(bench.Fig4()), nil }},
+		{"fig5", "Figure 5: weak scaling, Stampede2", func() (string, error) { return figsToString(bench.Fig5()), nil }},
+		{"fig6", "Figure 6: strong scaling, Blue Waters", func() (string, error) { return figsToString(bench.Fig6()), nil }},
+		{"fig7", "Figure 7: strong scaling, Stampede2", func() (string, error) { return figsToString(bench.Fig7()), nil }},
+		{"accuracy", "Extension: orthogonality vs condition number", func() (string, error) { return bench.Accuracy(), nil }},
+		{"tsqr", "Extension: 1D-CQR2 vs binary-tree TSQR", func() (string, error) { return figToString(bench.ExtTSQR()), nil }},
+		{"panel", "Extension: panel-wise CA-CQR2 (paper §V proposal)", func() (string, error) { return figToString(bench.ExtPanel()), nil }},
+		{"memory", "Extension: memory footprint vs replication c", func() (string, error) { return figToString(bench.ExtMemory()), nil }},
+		{"trend", "Extension: speedup vs flops-to-bandwidth ratio", func() (string, error) { return figToString(bench.ExtTrend()), nil }},
+		{"ministrong", "Extension: real-execution strong scaling at laptop scale", func() (string, error) {
+			f, err := bench.MiniStrong()
+			if err != nil {
+				return "", err
+			}
+			return figToString(f), nil
+		}},
+	}
+}
+
+func main() {
+	expFlag := flag.String("exp", "all", "experiment id to run (see -list)")
+	listFlag := flag.Bool("list", false, "list experiment ids and exit")
+	flag.BoolVar(&csvOut, "csv", false, "emit figures as CSV instead of aligned text")
+	flag.Parse()
+
+	exps := experiments()
+	if *listFlag {
+		for _, e := range exps {
+			fmt.Printf("%-9s %s\n", e.id, e.desc)
+		}
+		return
+	}
+	ran := false
+	for _, e := range exps {
+		if *expFlag != "all" && e.id != *expFlag {
+			continue
+		}
+		ran = true
+		out, err := e.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperfigs: %s: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "paperfigs: unknown experiment %q (use -list)\n", *expFlag)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,40 @@
+// Accuracy study: how the CholeskyQR family degrades with the condition
+// number of the input, and how the shifted three-pass variant restores
+// unconditional stability — the paper's §I stability discussion and §V
+// extension, runnable.
+//
+//	go run ./examples/accuracy
+package main
+
+import (
+	"fmt"
+)
+
+import cacqr "cacqr"
+
+func main() {
+	const m, n = 200, 24
+	fmt.Printf("orthogonality error ‖QᵀQ−I‖_F of a %dx%d factorization\n\n", m, n)
+	fmt.Printf("%-10s  %-14s  %-14s  %-14s\n", "kappa(A)", "CholeskyQR2", "ShiftedCQR3", "Householder")
+
+	for _, kappa := range []float64{1e2, 1e4, 1e6, 1e8, 1e10, 1e12} {
+		a := cacqr.RandomWithCond(m, n, kappa, int64(kappa))
+
+		cqr2 := "failed"
+		if q, _, err := cacqr.CholeskyQR2(a); err == nil {
+			cqr2 = fmt.Sprintf("%.2e", cacqr.OrthogonalityError(q))
+		}
+		scqr3 := "failed"
+		if q, _, err := cacqr.ShiftedCQR3(a); err == nil {
+			scqr3 = fmt.Sprintf("%.2e", cacqr.OrthogonalityError(q))
+		}
+		hh := "failed"
+		if q, _, err := cacqr.HouseholderQR(a); err == nil {
+			hh = fmt.Sprintf("%.2e", cacqr.OrthogonalityError(q))
+		}
+		fmt.Printf("%-10.0e  %-14s  %-14s  %-14s\n", kappa, cqr2, scqr3, hh)
+	}
+
+	fmt.Println("\nCholeskyQR2 matches Householder up to kappa ~ 1/sqrt(eps) ≈ 1e8;")
+	fmt.Println("the shifted CQR3 extension stays stable far beyond (paper §V, ref [3]).")
+}

@@ -1,0 +1,73 @@
+// Scaling study: use the validated cost model to choose the best
+// processor-grid shape for a QR factorization on a Stampede2-like
+// machine, and compare CA-CQR2 against the ScaLAPACK-style baseline —
+// the deployment question the paper's evaluation answers.
+//
+//	go run ./examples/scaling [-m rows] [-n cols]
+package main
+
+import (
+	"flag"
+	"fmt"
+)
+
+import cacqr "cacqr"
+
+func main() {
+	m := flag.Int("m", 1<<21, "matrix rows")
+	n := flag.Int("n", 1<<12, "matrix columns")
+	flag.Parse()
+
+	mach := cacqr.Stampede2
+	fmt.Printf("predicted QR performance for a %d x %d matrix on %s (%d processes/node)\n\n",
+		*m, *n, mach.Name, mach.PPN)
+	fmt.Printf("%-8s  %-22s  %-12s  %-22s  %-10s\n",
+		"nodes", "best CA-CQR2 grid", "GF/s/node", "best ScaLAPACK grid", "GF/s/node")
+
+	for _, nodes := range []int{64, 128, 256, 512, 1024} {
+		procs := mach.PPN * nodes
+
+		bestCQ, cqLabel := 0.0, "-"
+		for c := 1; c*c*c <= procs; c *= 2 {
+			d := procs / (c * c)
+			if d < c || d%c != 0 || *m%d != 0 || *n%c != 0 {
+				continue
+			}
+			for inv := 0; inv <= 1; inv++ {
+				cost, err := cacqr.ModelCACQR2(*m, *n, cacqr.GridSpec{C: c, D: d},
+					cacqr.Options{InverseDepth: inv})
+				if err != nil {
+					continue
+				}
+				if gf := cacqr.PredictGFlopsPerNode(mach, cost, *m, *n, nodes); gf > bestCQ {
+					bestCQ = gf
+					cqLabel = fmt.Sprintf("c=%d d=%d inv=%d", c, d, inv)
+				}
+			}
+		}
+
+		bestSC, scLabel := 0.0, "-"
+		for _, nb := range []int{16, 32, 64} {
+			for pr := 1; pr <= procs; pr *= 2 {
+				pc := procs / pr
+				if pc < 1 || *m%pr != 0 || *n%nb != 0 || pc*nb > *n {
+					continue
+				}
+				cost, err := cacqr.ModelPGEQRF(*m, *n, pr, pc, nb)
+				if err != nil {
+					continue
+				}
+				if gf := cacqr.PredictGFlopsPerNode(mach, cost, *m, *n, nodes); gf > bestSC {
+					bestSC = gf
+					scLabel = fmt.Sprintf("pr=%d pc=%d nb=%d", pr, pc, nb)
+				}
+			}
+		}
+
+		fmt.Printf("%-8d  %-22s  %-12.1f  %-22s  %-10.1f\n",
+			nodes, cqLabel, bestCQ, scLabel, bestSC)
+	}
+
+	fmt.Println("\nlarger c trades extra synchronization and flops for less communication;")
+	fmt.Println("the winning c grows with node count, as in the paper's Figures 6-7.")
+}

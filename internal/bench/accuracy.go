@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"cacqr/internal/core"
+	"cacqr/internal/lin"
+)
+
+// Accuracy reproduces the stability story of the paper's §I as a κ(A)
+// sweep: one CholeskyQR pass loses orthogonality like κ², CholeskyQR2
+// restores it to machine precision up to κ ≈ 1/√ε, Householder QR and
+// shifted CholeskyQR3 are accurate throughout. This supports the paper's
+// claim that CQR2 matches Householder accuracy in its stated regime.
+func Accuracy() string {
+	const m, n = 120, 16
+	conds := []float64{1e1, 1e3, 1e5, 1e7, 1e9, 1e11}
+
+	var b strings.Builder
+	b.WriteString("## Accuracy — orthogonality error ‖QᵀQ−I‖_F vs condition number (m=120, n=16)\n")
+	b.WriteString("# kappa        CQR          CQR2         sCQR3        Householder  residual(CQR2)\n")
+	for _, k := range conds {
+		a := lin.RandomWithCond(m, n, k, int64(k))
+		row := fmt.Sprintf("%8.0e", k)
+
+		if q, _, err := core.CholeskyQR(a); err == nil {
+			row += fmt.Sprintf("  %11.2e", lin.OrthogonalityError(q))
+		} else {
+			row += "       failed"
+		}
+		var resid float64 = -1
+		if q, r, err := core.CholeskyQR2(a); err == nil {
+			row += fmt.Sprintf("  %11.2e", lin.OrthogonalityError(q))
+			resid = lin.ResidualNorm(a, q, r)
+		} else {
+			row += "       failed"
+		}
+		if q, _, err := core.ShiftedCQR3(a); err == nil {
+			row += fmt.Sprintf("  %11.2e", lin.OrthogonalityError(q))
+		} else {
+			row += "       failed"
+		}
+		if q, _, err := lin.QR(a); err == nil {
+			row += fmt.Sprintf("  %11.2e", lin.OrthogonalityError(q))
+		}
+		if resid >= 0 {
+			row += fmt.Sprintf("  %11.2e", resid)
+		} else {
+			row += "            -"
+		}
+		b.WriteString(row + "\n")
+	}
+	b.WriteString("# CQR2 is Householder-accurate while kappa <~ 1/sqrt(eps) ~ 1e8; shifted CQR3 extends to ~1/eps.\n")
+	return b.String()
+}

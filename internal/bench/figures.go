@@ -1,0 +1,444 @@
+package bench
+
+import (
+	"fmt"
+
+	"cacqr/internal/costmodel"
+)
+
+// Scaling-figure generators. Grid variants follow the paper's legends:
+// CA-CQR2 curves are labeled (d, c, InverseDepth) for strong scaling and
+// (d/c, InverseDepth) for weak scaling; ScaLAPACK curves are labeled
+// (pr, BlockSize). Gigaflops/s/node uses the Householder flop count
+// 2mn² − (2/3)n³, exactly as §IV-C normalizes.
+
+// cacqr2Point evaluates one CA-CQR2 configuration, reporting ok=false for
+// grid shapes that do not divide the problem.
+func cacqr2Point(mach costmodel.Machine, m, n, c, d, inv, nodes int) (float64, bool) {
+	if c < 1 || d < c || d%c != 0 || m%d != 0 || n%c != 0 {
+		return 0, false
+	}
+	if n/c < 1 || m/d < 1 {
+		return 0, false
+	}
+	cost, err := costmodel.CACQR2(m, n, costmodel.CACQRParams{C: c, D: d, InverseDepth: inv})
+	if err != nil {
+		return 0, false
+	}
+	return mach.GFlopsPerNode(cost, m, n, nodes), true
+}
+
+// sclaPoint evaluates one PGEQRF configuration.
+func sclaPoint(mach costmodel.Machine, m, n, pr, pc, nb, nodes int) (float64, bool) {
+	if pr < 1 || pc < 1 || m%pr != 0 || n%nb != 0 || pc*nb > n || pr > m {
+		return 0, false
+	}
+	cost, err := costmodel.PGEQRF(m, n, pr, pc, nb)
+	if err != nil {
+		return 0, false
+	}
+	return mach.GFlopsPerNode(cost, m, n, nodes), true
+}
+
+// bestCACQR2 sweeps c (and InverseDepth ∈ {0,1}) for the best
+// configuration at a node count, as the paper's Figure 1 does.
+func bestCACQR2(mach costmodel.Machine, m, n, procs, nodes int) (float64, string) {
+	best, lbl := 0.0, ""
+	for c := 1; c*c*c <= procs; c *= 2 {
+		d := procs / (c * c)
+		for inv := 0; inv <= 1; inv++ {
+			if v, ok := cacqr2Point(mach, m, n, c, d, inv, nodes); ok && v > best {
+				best, lbl = v, fmt.Sprintf("c=%d,inv=%d", c, inv)
+			}
+		}
+	}
+	return best, lbl
+}
+
+// bestScaLAPACK sweeps pr and nb for the best baseline configuration.
+func bestScaLAPACK(mach costmodel.Machine, m, n, procs, nodes int) (float64, string) {
+	best, lbl := 0.0, ""
+	for _, nb := range []int{16, 32, 64} {
+		for pr := 1; pr <= procs && pr <= m; pr *= 2 {
+			pc := procs / pr
+			if pc < 1 {
+				continue
+			}
+			if v, ok := sclaPoint(mach, m, n, pr, pc, nb, nodes); ok && v > best {
+				best, lbl = v, fmt.Sprintf("pr=%d,nb=%d", pr, nb)
+			}
+		}
+	}
+	return best, lbl
+}
+
+// strongVariant is one legend entry of a strong-scaling panel.
+type strongVariant struct {
+	// CA-CQR2: DMult·N = d (DDiv divides), fixed c and InverseDepth.
+	// ScaLAPACK: PrMult·N = pr (PrDiv divides), block size NB.
+	IsCQR2        bool
+	DMult, DDiv   int
+	C, Inv        int
+	PrMult, PrDiv int
+	NB            int
+}
+
+func (v strongVariant) label(scla bool) string {
+	frac := func(mult, div int) string {
+		if div > 1 {
+			return fmt.Sprintf("N/%d", div)
+		}
+		return fmt.Sprintf("%dN", mult)
+	}
+	if v.IsCQR2 {
+		return fmt.Sprintf("CA-CQR2-(%s,%d,%d)", frac(v.DMult, v.DDiv), v.C, v.Inv)
+	}
+	return fmt.Sprintf("ScaLAPACK-(%s,%d)", frac(v.PrMult, v.PrDiv), v.NB)
+}
+
+// strongPanel builds one strong-scaling panel for an m×n matrix on a
+// machine, over the given node counts, with the paper's legend variants.
+func strongPanel(id string, mach costmodel.Machine, m, n int, nodes []int, variants []strongVariant) *Figure {
+	f := &Figure{
+		ID:     id,
+		Title:  fmt.Sprintf("Strong scaling, %d x %d (%s)", m, n, mach.Name),
+		XLabel: "Nodes(N)",
+		YLabel: "Gigaflops/s/Node",
+	}
+	for _, nd := range nodes {
+		f.Ticks = append(f.Ticks, fmt.Sprintf("%d", nd))
+	}
+	for _, v := range variants {
+		s := Series{Label: v.label(!v.IsCQR2)}
+		for _, nd := range nodes {
+			procs := mach.PPN * nd
+			if v.IsCQR2 {
+				d := v.DMult * nd / v.DDiv
+				if d < 1 || v.C*v.C*d != procs {
+					s.AddPoint(0, false)
+					continue
+				}
+				y, ok := cacqr2Point(mach, m, n, v.C, d, v.Inv, nd)
+				s.AddPoint(y, ok)
+			} else {
+				pr := v.PrMult * nd / v.PrDiv
+				if pr < 1 || procs%pr != 0 {
+					s.AddPoint(0, false)
+					continue
+				}
+				y, ok := sclaPoint(mach, m, n, pr, procs/pr, v.NB, nd)
+				s.AddPoint(y, ok)
+			}
+		}
+		f.Series = append(f.Series, s)
+	}
+	return f
+}
+
+// cqr2StrongVariantsFor builds the CA-CQR2 legend entries for a strong
+// panel: for each feasible c at the smallest node count, d = P/c².
+func cqr2StrongVariantsFor(mach costmodel.Machine, cs []int, invs []int, baseNodes int) []strongVariant {
+	var out []strongVariant
+	p0 := mach.PPN * baseNodes
+	for i, c := range cs {
+		d0 := p0 / (c * c)
+		inv := 0
+		if i < len(invs) {
+			inv = invs[i]
+		}
+		v := strongVariant{IsCQR2: true, C: c, Inv: inv, DDiv: 1}
+		if d0 >= baseNodes {
+			v.DMult = d0 / baseNodes
+		} else {
+			v.DDiv = baseNodes / d0
+			v.DMult = 1
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// Fig7 regenerates the paper's Figure 7: strong scaling on Stampede2 for
+// the four matrix shapes, nodes 64–1024, with legend variants mirroring
+// the paper's (d, c, InverseDepth) tuples.
+func Fig7() []*Figure {
+	mach := costmodel.Stampede2
+	nodes := []int{64, 128, 256, 512, 1024}
+	panels := []struct {
+		id   string
+		m, n int
+		cs   []int
+		invs []int
+		scla []strongVariant
+	}{
+		{"Fig7a", 1 << 19, 1 << 13, []int{8, 16}, []int{0, 0}, []strongVariant{
+			{PrMult: 8, PrDiv: 1, NB: 16}, {PrMult: 4, PrDiv: 1, NB: 32}}},
+		{"Fig7b", 1 << 21, 1 << 12, []int{4, 8, 2}, []int{0, 0, 0}, []strongVariant{
+			{PrMult: 64, PrDiv: 1, NB: 64}, {PrMult: 16, PrDiv: 1, NB: 32}}},
+		{"Fig7c", 1 << 23, 1 << 11, []int{1, 2, 4}, []int{0, 0, 0}, []strongVariant{
+			{PrMult: 32, PrDiv: 1, NB: 32}, {PrMult: 64, PrDiv: 1, NB: 32}}},
+		{"Fig7d", 1 << 25, 1 << 10, []int{1, 2}, []int{0, 0}, []strongVariant{
+			{PrMult: 64, PrDiv: 1, NB: 16}, {PrMult: 64, PrDiv: 1, NB: 32}}},
+	}
+	var figs []*Figure
+	for _, p := range panels {
+		variants := cqr2StrongVariantsFor(mach, p.cs, p.invs, nodes[0])
+		variants = append(variants, p.scla...)
+		fig := strongPanel(p.id, mach, p.m, p.n, nodes, variants)
+		addStrongNotes(fig, mach, p.m, p.n, nodes)
+		figs = append(figs, fig)
+	}
+	return figs
+}
+
+// Fig6 regenerates Figure 6: strong scaling on Blue Waters.
+func Fig6() []*Figure {
+	mach := costmodel.BlueWaters
+	nodes := []int{32, 64, 128, 256, 512, 1024, 2048}
+	panels := []struct {
+		id   string
+		m, n int
+		cs   []int
+		invs []int
+		scla []strongVariant
+	}{
+		{"Fig6a", 1 << 20, 1 << 12, []int{4, 2, 8}, []int{0, 0, 2}, []strongVariant{
+			{PrMult: 8, PrDiv: 1, NB: 32}, {PrMult: 8, PrDiv: 1, NB: 64}, {PrMult: 4, PrDiv: 1, NB: 32}}},
+		{"Fig6b", 1 << 22, 1 << 11, []int{1, 2, 4}, []int{0, 0, 0}, []strongVariant{
+			{PrMult: 16, PrDiv: 1, NB: 32}, {PrMult: 16, PrDiv: 1, NB: 64}, {PrMult: 8, PrDiv: 1, NB: 32}}},
+	}
+	var figs []*Figure
+	for _, p := range panels {
+		variants := cqr2StrongVariantsFor(mach, p.cs, p.invs, nodes[0])
+		variants = append(variants, p.scla...)
+		fig := strongPanel(p.id, mach, p.m, p.n, nodes, variants)
+		addStrongNotes(fig, mach, p.m, p.n, nodes)
+		figs = append(figs, fig)
+	}
+	return figs
+}
+
+func addStrongNotes(f *Figure, mach costmodel.Machine, m, n int, nodes []int) {
+	last := len(nodes) - 1
+	cq, cqLbl := f.Best(last, "CA-CQR2")
+	sc, scLbl := f.Best(last, "ScaLAPACK")
+	if sc > 0 {
+		f.Notes = append(f.Notes, fmt.Sprintf(
+			"at N=%d: best CA-CQR2 %.1f (%s) vs best ScaLAPACK %.1f (%s): ratio %.2fx",
+			nodes[last], cq, cqLbl, sc, scLbl, cq/sc))
+	}
+}
+
+// weakStep is one (a, b) point of the paper's weak-scaling x axis.
+type weakStep struct{ a, b int }
+
+var weakSteps = []weakStep{{2, 1}, {1, 2}, {2, 2}, {4, 2}, {8, 2}, {4, 4}, {8, 4}}
+
+// weakPanel builds one weak-scaling panel: m = bm·a, n = bn·b,
+// N = nodeFactor·a·b². CA-CQR2 variants are labeled by the legend ratio
+// d/c = x·a/b with c = c0·b/x^{1/3} as in the paper's legends;
+// ScaLAPACK variants by (pr = prMult·a·b, nb).
+func weakPanel(id string, mach costmodel.Machine, bm, bn, nodeFactor int,
+	xs []int, invs []int, prMults []int, nbs []int) *Figure {
+	f := &Figure{
+		ID:     id,
+		Title:  fmt.Sprintf("Weak scaling, %d*a x %d*b (%s)", bm, bn, mach.Name),
+		XLabel: "(a,b)",
+		YLabel: "Gigaflops/s/Node",
+	}
+	for _, st := range weakSteps {
+		f.Ticks = append(f.Ticks, fmt.Sprintf("(%d,%d)", st.a, st.b))
+	}
+	for i, x := range xs {
+		inv := 0
+		if i < len(invs) {
+			inv = invs[i]
+		}
+		s := Series{Label: fmt.Sprintf("CA-CQR2-(%da/b,%d)", x, inv)}
+		for _, st := range weakSteps {
+			nodesN := nodeFactor * st.a * st.b * st.b
+			procs := mach.PPN * nodesN
+			m, n := bm*st.a, bn*st.b
+			// d/c = x·a/b and c²·d = P ⇒ c³ = P·b/(x·a).
+			c := icbrt(procs * st.b / (x * st.a))
+			if c < 1 {
+				s.AddPoint(0, false)
+				continue
+			}
+			d := procs / (c * c)
+			if c*c*d != procs {
+				s.AddPoint(0, false)
+				continue
+			}
+			y, ok := cacqr2Point(mach, m, n, c, d, inv, nodesN)
+			s.AddPoint(y, ok)
+		}
+		f.Series = append(f.Series, s)
+	}
+	for i, prMult := range prMults {
+		nb := nbs[i%len(nbs)]
+		s := Series{Label: fmt.Sprintf("ScaLAPACK-(%dab,%d)", prMult, nb)}
+		for _, st := range weakSteps {
+			nodesN := nodeFactor * st.a * st.b * st.b
+			procs := mach.PPN * nodesN
+			m, n := bm*st.a, bn*st.b
+			pr := prMult * st.a * st.b
+			if pr < 1 || procs%pr != 0 {
+				s.AddPoint(0, false)
+				continue
+			}
+			y, ok := sclaPoint(mach, m, n, pr, procs/pr, nb, nodesN)
+			s.AddPoint(y, ok)
+		}
+		f.Series = append(f.Series, s)
+	}
+	last := len(weakSteps) - 1
+	cq, cqLbl := f.Best(last, "CA-CQR2")
+	sc, scLbl := f.Best(last, "ScaLAPACK")
+	if sc > 0 {
+		f.Notes = append(f.Notes, fmt.Sprintf(
+			"at (8,4): best CA-CQR2 %.1f (%s) vs best ScaLAPACK %.1f (%s): ratio %.2fx",
+			cq, cqLbl, sc, scLbl, cq/sc))
+	}
+	return f
+}
+
+// icbrt returns the integer cube root when exact, else 0.
+func icbrt(v int) int {
+	for c := 1; c*c*c <= v; c++ {
+		if c*c*c == v {
+			return c
+		}
+	}
+	return 0
+}
+
+// Fig5 regenerates Figure 5: weak scaling on Stampede2 (N = 8ab²,
+// 64 processes/node).
+func Fig5() []*Figure {
+	mach := costmodel.Stampede2
+	panels := []struct {
+		id     string
+		bm, bn int
+		xs     []int
+		invs   []int
+	}{
+		{"Fig5a", 131072, 8192, []int{1, 8, 64}, []int{0, 0, 0}},
+		{"Fig5b", 262144, 4096, []int{1, 8, 64}, []int{0, 0, 0}},
+		{"Fig5c", 524288, 2048, []int{8, 64, 64}, []int{0, 0, 1}},
+		{"Fig5d", 1048576, 1024, []int{64, 64, 512}, []int{0, 1, 0}},
+	}
+	var figs []*Figure
+	for _, p := range panels {
+		figs = append(figs, weakPanel(p.id, mach, p.bm, p.bn, 8, p.xs, p.invs,
+			[]int{256, 128, 64}, []int{32, 32, 32}))
+	}
+	return figs
+}
+
+// Fig4 regenerates Figure 4: weak scaling on Blue Waters (N = 16ab²,
+// 16 processes/node).
+func Fig4() []*Figure {
+	mach := costmodel.BlueWaters
+	panels := []struct {
+		id     string
+		bm, bn int
+		xs     []int
+		invs   []int
+	}{
+		{"Fig4a", 65536, 2048, []int{4, 32, 256}, []int{0, 0, 0}},
+		{"Fig4b", 262144, 1024, []int{4, 32, 256}, []int{0, 0, 0}},
+		{"Fig4c", 1048576, 512, []int{32, 256, 512}, []int{0, 0, 0}},
+	}
+	var figs []*Figure
+	for _, p := range panels {
+		figs = append(figs, weakPanel(p.id, mach, p.bm, p.bn, 16, p.xs, p.invs,
+			[]int{256, 128, 64}, []int{32, 64, 32}))
+	}
+	return figs
+}
+
+// Fig1a regenerates Figure 1(a): the best-variant strong-scaling summary
+// on Stampede2 across the four Figure 7 shapes.
+func Fig1a() *Figure {
+	mach := costmodel.Stampede2
+	nodes := []int{64, 128, 256, 512, 1024}
+	sizes := []struct{ m, n int }{
+		{1 << 25, 1 << 10}, {1 << 23, 1 << 11}, {1 << 21, 1 << 12}, {1 << 19, 1 << 13},
+	}
+	f := &Figure{
+		ID:     "Fig1a",
+		Title:  "QR strong scaling, best variants (Stampede2)",
+		XLabel: "Nodes",
+		YLabel: "Gigaflops/s/Node",
+	}
+	for _, nd := range nodes {
+		f.Ticks = append(f.Ticks, fmt.Sprintf("%d", nd))
+	}
+	for _, sz := range sizes {
+		sq := Series{Label: fmt.Sprintf("ScaLAPACK 2^%d x 2^%d", log2(sz.m), log2(sz.n))}
+		cq := Series{Label: fmt.Sprintf("CA-CQR2 2^%d x 2^%d", log2(sz.m), log2(sz.n))}
+		for _, nd := range nodes {
+			procs := mach.PPN * nd
+			s, _ := bestScaLAPACK(mach, sz.m, sz.n, procs, nd)
+			c, _ := bestCACQR2(mach, sz.m, sz.n, procs, nd)
+			sq.AddPoint(s, s > 0)
+			cq.AddPoint(c, c > 0)
+		}
+		f.Series = append(f.Series, sq, cq)
+	}
+	for _, sz := range sizes {
+		procs := mach.PPN * 1024
+		s, _ := bestScaLAPACK(mach, sz.m, sz.n, procs, 1024)
+		c, _ := bestCACQR2(mach, sz.m, sz.n, procs, 1024)
+		if s > 0 {
+			f.Notes = append(f.Notes, fmt.Sprintf("2^%d x 2^%d at N=1024: CA-CQR2/ScaLAPACK = %.2fx",
+				log2(sz.m), log2(sz.n), c/s))
+		}
+	}
+	return f
+}
+
+// Fig1b regenerates Figure 1(b): the best-variant weak-scaling summary on
+// Stampede2 (the four Figure 5 shape progressions).
+func Fig1b() *Figure {
+	mach := costmodel.Stampede2
+	shapes := []struct {
+		cMul, dMul int // size multipliers: m = 131072·a·c̃, n = 1024·b·d̃
+	}{
+		{8, 1}, {4, 2}, {2, 4}, {1, 8},
+	}
+	f := &Figure{
+		ID:     "Fig1b",
+		Title:  "QR weak scaling 131072*a*c x 1024*b*d, best variants (Stampede2)",
+		XLabel: "(a,b)",
+		YLabel: "Gigaflops/s/Node",
+	}
+	for _, st := range weakSteps {
+		f.Ticks = append(f.Ticks, fmt.Sprintf("(%d,%d)", st.a, st.b))
+	}
+	for _, sh := range shapes {
+		sq := Series{Label: fmt.Sprintf("ScaLAPACK c=%d,d=%d", sh.cMul, sh.dMul)}
+		cq := Series{Label: fmt.Sprintf("CA-CQR2 c=%d,d=%d", sh.cMul, sh.dMul)}
+		for _, st := range weakSteps {
+			nodesN := 8 * st.a * st.b * st.b
+			procs := mach.PPN * nodesN
+			m, n := 131072*st.a*sh.cMul, 1024*st.b*sh.dMul
+			s, _ := bestScaLAPACK(mach, m, n, procs, nodesN)
+			c, _ := bestCACQR2(mach, m, n, procs, nodesN)
+			sq.AddPoint(s, s > 0)
+			cq.AddPoint(c, c > 0)
+		}
+		f.Series = append(f.Series, sq, cq)
+	}
+	return f
+}
+
+func log2(v int) int {
+	l := 0
+	for v > 1 {
+		v >>= 1
+		l++
+	}
+	return l
+}

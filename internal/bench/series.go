@@ -1,0 +1,131 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation: the asymptotic cost table (Table I), the per-line cost
+// tables (Tables II–VI), the algorithm-illustration traces (Figures 2–3),
+// and the strong/weak scaling studies on the Stampede2 and Blue Waters
+// machine models (Figures 1, 4, 5, 6, 7), plus the accuracy experiment
+// supporting the paper's §I stability discussion.
+//
+// Scaling figures are produced by the validated cost model evaluated at
+// the paper's scale; traces and table validations execute the real
+// distributed algorithms on the simmpi runtime.
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Series is one labeled line of a figure: Y values over the shared X axis
+// of the owning figure. NaN-free; missing points are omitted by leaving
+// Valid false.
+type Series struct {
+	Label string
+	Y     []float64
+	Valid []bool
+}
+
+// Figure is a regenerated plot: an X axis (as printable tick labels) and
+// one or more series, with free-form notes recording shape checks.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Ticks  []string
+	Series []Series
+	Notes  []string
+}
+
+// AddPoint appends a point to series i (growing Valid/Y in lockstep).
+func (s *Series) AddPoint(y float64, ok bool) {
+	s.Y = append(s.Y, y)
+	s.Valid = append(s.Valid, ok)
+}
+
+// Render formats the figure as an aligned text table, one row per X tick
+// and one column per series — the same rows/series the paper plots.
+func (f *Figure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "## %s — %s\n", f.ID, f.Title)
+	fmt.Fprintf(&b, "#  y-axis: %s\n", f.YLabel)
+
+	width := len(f.XLabel)
+	for _, t := range f.Ticks {
+		if len(t) > width {
+			width = len(t)
+		}
+	}
+	cols := make([]int, len(f.Series))
+	for i, s := range f.Series {
+		cols[i] = len(s.Label)
+		if cols[i] < 8 {
+			cols[i] = 8
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", width+2, f.XLabel)
+	for i, s := range f.Series {
+		fmt.Fprintf(&b, "  %*s", cols[i], s.Label)
+	}
+	b.WriteByte('\n')
+	for r, tick := range f.Ticks {
+		fmt.Fprintf(&b, "%-*s", width+2, tick)
+		for i, s := range f.Series {
+			if r < len(s.Y) && s.Valid[r] {
+				fmt.Fprintf(&b, "  %*.1f", cols[i], s.Y[r])
+			} else {
+				fmt.Fprintf(&b, "  %*s", cols[i], "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(&b, "# %s\n", n)
+	}
+	return b.String()
+}
+
+// RenderCSV formats the figure as CSV (one row per tick, one column per
+// series) for downstream plotting tools. Missing points are empty cells.
+func (f *Figure) RenderCSV() string {
+	var b strings.Builder
+	b.WriteString(csvQuote(f.XLabel))
+	for _, s := range f.Series {
+		b.WriteByte(',')
+		b.WriteString(csvQuote(s.Label))
+	}
+	b.WriteByte('\n')
+	for r, tick := range f.Ticks {
+		b.WriteString(csvQuote(tick))
+		for _, s := range f.Series {
+			b.WriteByte(',')
+			if r < len(s.Y) && s.Valid[r] {
+				fmt.Fprintf(&b, "%g", s.Y[r])
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// csvQuote quotes a field when it contains separators or quotes.
+func csvQuote(s string) string {
+	if !strings.ContainsAny(s, ",\"\n") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
+
+// Best returns the maximum valid value of row r across series whose label
+// has the given prefix, with the winning label.
+func (f *Figure) Best(r int, prefix string) (float64, string) {
+	best, lbl := 0.0, ""
+	for _, s := range f.Series {
+		if !strings.HasPrefix(s.Label, prefix) {
+			continue
+		}
+		if r < len(s.Y) && s.Valid[r] && s.Y[r] > best {
+			best, lbl = s.Y[r], s.Label
+		}
+	}
+	return best, lbl
+}

@@ -1,0 +1,280 @@
+package cfr3d
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"cacqr/internal/dist"
+	"cacqr/internal/grid"
+	"cacqr/internal/lin"
+	"cacqr/internal/simmpi"
+)
+
+func runCube(t *testing.T, e int, body func(p *simmpi.Proc, cb *grid.Cube) error) *simmpi.Stats {
+	t.Helper()
+	st, err := simmpi.RunWithOptions(e*e*e, simmpi.Options{Timeout: 120 * time.Second}, func(p *simmpi.Proc) error {
+		cb, err := grid.NewCube(p.World(), e)
+		if err != nil {
+			return err
+		}
+		return body(p, cb)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// checkFactor verifies the distributed factors against the sequential
+// Cholesky of the same matrix (the factor with positive diagonal is
+// unique, so blocks must agree to roundoff).
+func checkFactor(a *lin.Matrix, cb *grid.Cube, res *Result, wantFullY bool) error {
+	n := a.Rows
+	lSeq, err := lin.Cholesky(a)
+	if err != nil {
+		return err
+	}
+	wantL, err := dist.FromGlobal(lSeq, cb.E, cb.E, cb.Y, cb.X)
+	if err != nil {
+		return err
+	}
+	tol := 1e-8
+	if !res.L.EqualWithin(wantL.Local, tol) {
+		return fmt.Errorf("L mismatch on rank (%d,%d,%d)", cb.X, cb.Y, cb.Z)
+	}
+	if wantFullY {
+		ySeq, err := lin.TriInverse(lSeq, lin.Lower)
+		if err != nil {
+			return err
+		}
+		wantY, err := dist.FromGlobal(ySeq, cb.E, cb.E, cb.Y, cb.X)
+		if err != nil {
+			return err
+		}
+		if !res.Y.EqualWithin(wantY.Local, tol) {
+			return fmt.Errorf("Y mismatch on rank (%d,%d,%d)", cb.X, cb.Y, cb.Z)
+		}
+	}
+	_ = n
+	return nil
+}
+
+func TestFactorMatchesSequential(t *testing.T) {
+	for _, tc := range []struct{ e, n, base int }{
+		{1, 8, 2},   // pure recursion, sequential grid
+		{1, 16, 16}, // pure base case
+		{2, 8, 2},
+		{2, 16, 4},
+		{2, 16, 16}, // base case at top level (no recursion)
+		{4, 16, 4},
+	} {
+		t.Run(fmt.Sprintf("e%d_n%d_base%d", tc.e, tc.n, tc.base), func(t *testing.T) {
+			a := lin.RandomSPD(tc.n, int64(tc.n+tc.e))
+			runCube(t, tc.e, func(p *simmpi.Proc, cb *grid.Cube) error {
+				ad, err := dist.FromGlobal(a, cb.E, cb.E, cb.Y, cb.X)
+				if err != nil {
+					return err
+				}
+				res, err := Factor(cb, ad.Local, tc.n, Options{BaseSize: tc.base})
+				if err != nil {
+					return err
+				}
+				return checkFactor(a, cb, res, true)
+			})
+		})
+	}
+}
+
+func TestFactorDefaultBaseSize(t *testing.T) {
+	const e, n = 2, 32
+	a := lin.RandomSPD(n, 5)
+	runCube(t, e, func(p *simmpi.Proc, cb *grid.Cube) error {
+		ad, err := dist.FromGlobal(a, cb.E, cb.E, cb.Y, cb.X)
+		if err != nil {
+			return err
+		}
+		res, err := Factor(cb, ad.Local, n, Options{})
+		if err != nil {
+			return err
+		}
+		// Paper default n_o = n/E² = 8.
+		if res.BaseSize != n/(e*e) {
+			return fmt.Errorf("default base size %d, want %d", res.BaseSize, n/(e*e))
+		}
+		return checkFactor(a, cb, res, true)
+	})
+}
+
+func TestFactorInverseDepth(t *testing.T) {
+	// With InverseDepth=1 the top-level Y21 must be zero while L is
+	// complete and the two diagonal half-inverses are exact.
+	const e, n, base = 2, 16, 4
+	a := lin.RandomSPD(n, 7)
+	runCube(t, e, func(p *simmpi.Proc, cb *grid.Cube) error {
+		ad, err := dist.FromGlobal(a, cb.E, cb.E, cb.Y, cb.X)
+		if err != nil {
+			return err
+		}
+		res, err := Factor(cb, ad.Local, n, Options{BaseSize: base, InverseDepth: 1})
+		if err != nil {
+			return err
+		}
+		if err := checkFactor(a, cb, res, false); err != nil {
+			return err
+		}
+		// Assemble Y globally over the slice and inspect blocks.
+		flat, err := cb.Slice.Allgather(dist.Flatten(res.Y))
+		if err != nil {
+			return err
+		}
+		blk := res.Y.Rows * res.Y.Cols
+		pieces := make([]*lin.Matrix, e*e)
+		for i := range pieces {
+			pieces[i], err = dist.Unflatten(res.Y.Rows, res.Y.Cols, flat[i*blk:(i+1)*blk])
+			if err != nil {
+				return err
+			}
+		}
+		yGlob, err := dist.AssembleGlobal(n, n, e, e, pieces)
+		if err != nil {
+			return err
+		}
+		// Top-level off-diagonal block must be exactly zero.
+		y21 := yGlob.View(n/2, 0, n/2, n/2)
+		if lin.MaxAbs(y21) != 0 {
+			return fmt.Errorf("Y21 formed despite InverseDepth=1")
+		}
+		// Diagonal blocks must invert the corresponding L blocks.
+		lSeq, err := lin.Cholesky(a)
+		if err != nil {
+			return err
+		}
+		l11 := lSeq.View(0, 0, n/2, n/2).Clone()
+		y11 := yGlob.View(0, 0, n/2, n/2).Clone()
+		if !lin.MatMul(l11, y11).EqualWithin(lin.Identity(n/2), 1e-8) {
+			return fmt.Errorf("Y11 is not L11⁻¹")
+		}
+		return nil
+	})
+}
+
+func TestFactorRejectsBadShapes(t *testing.T) {
+	_, err := simmpi.RunWithOptions(8, simmpi.Options{Timeout: 30 * time.Second}, func(p *simmpi.Proc) error {
+		cb, err := grid.NewCube(p.World(), 2)
+		if err != nil {
+			return err
+		}
+		// n not divisible by E.
+		if _, err := Factor(cb, lin.NewMatrix(3, 3), 7, Options{}); err == nil {
+			return fmt.Errorf("indivisible dimension accepted")
+		}
+		// Local block mismatched with n.
+		if _, err := Factor(cb, lin.NewMatrix(3, 3), 8, Options{}); err == nil {
+			return fmt.Errorf("mismatched local block accepted")
+		}
+		// Negative InverseDepth.
+		if _, err := Factor(cb, lin.NewMatrix(4, 4), 8, Options{InverseDepth: -1}); err == nil {
+			return fmt.Errorf("negative InverseDepth accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFactorIndefiniteFails(t *testing.T) {
+	// A non-SPD matrix must surface ErrNotPositiveDefinite from the base
+	// case on every rank, not deadlock.
+	const e, n = 2, 8
+	a := lin.Identity(n)
+	a.Set(5, 5, -1)
+	_, err := simmpi.RunWithOptions(e*e*e, simmpi.Options{Timeout: 60 * time.Second}, func(p *simmpi.Proc) error {
+		cb, err := grid.NewCube(p.World(), e)
+		if err != nil {
+			return err
+		}
+		ad, err := dist.FromGlobal(a, cb.E, cb.E, cb.Y, cb.X)
+		if err != nil {
+			return err
+		}
+		_, err = Factor(cb, ad.Local, n, Options{BaseSize: 4})
+		if err == nil {
+			return fmt.Errorf("indefinite matrix factored")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBaseSizeRounding(t *testing.T) {
+	// A base size not divisible by E must be rounded up, not crash.
+	const e, n = 2, 16
+	a := lin.RandomSPD(n, 11)
+	runCube(t, e, func(p *simmpi.Proc, cb *grid.Cube) error {
+		ad, err := dist.FromGlobal(a, cb.E, cb.E, cb.Y, cb.X)
+		if err != nil {
+			return err
+		}
+		res, err := Factor(cb, ad.Local, n, Options{BaseSize: 3})
+		if err != nil {
+			return err
+		}
+		if res.BaseSize%e != 0 {
+			return fmt.Errorf("base size %d not aligned", res.BaseSize)
+		}
+		return checkFactor(a, cb, res, true)
+	})
+}
+
+func TestSmallerBaseSizeCostsMoreLatency(t *testing.T) {
+	// Deeper recursion (smaller n_o) must raise the α cost and lower or
+	// keep the per-rank flop count — the §II-D tradeoff.
+	const e, n = 2, 32
+	a := lin.RandomSPD(n, 13)
+	run := func(base int) *simmpi.Stats {
+		return runCube(t, e, func(p *simmpi.Proc, cb *grid.Cube) error {
+			ad, err := dist.FromGlobal(a, cb.E, cb.E, cb.Y, cb.X)
+			if err != nil {
+				return err
+			}
+			_, err = Factor(cb, ad.Local, n, Options{BaseSize: base})
+			return err
+		})
+	}
+	deep := run(4)
+	shallow := run(32)
+	if deep.MaxMsgs <= shallow.MaxMsgs {
+		t.Fatalf("deeper recursion should cost more latency: %d vs %d", deep.MaxMsgs, shallow.MaxMsgs)
+	}
+	if deep.MaxFlops >= shallow.MaxFlops {
+		t.Fatalf("deeper recursion should cost fewer redundant flops: %d vs %d", deep.MaxFlops, shallow.MaxFlops)
+	}
+}
+
+func TestInverseDepthSavesWork(t *testing.T) {
+	// Skipping Y21 formation must strictly reduce flops and words.
+	const e, n = 2, 32
+	a := lin.RandomSPD(n, 17)
+	run := func(inv int) *simmpi.Stats {
+		return runCube(t, e, func(p *simmpi.Proc, cb *grid.Cube) error {
+			ad, err := dist.FromGlobal(a, cb.E, cb.E, cb.Y, cb.X)
+			if err != nil {
+				return err
+			}
+			_, err = Factor(cb, ad.Local, n, Options{BaseSize: 4, InverseDepth: inv})
+			return err
+		})
+	}
+	full := run(0)
+	lazy := run(2)
+	if lazy.MaxFlops >= full.MaxFlops {
+		t.Fatalf("InverseDepth did not reduce flops: %d vs %d", lazy.MaxFlops, full.MaxFlops)
+	}
+	if lazy.MaxWords >= full.MaxWords {
+		t.Fatalf("InverseDepth did not reduce words: %d vs %d", lazy.MaxWords, full.MaxWords)
+	}
+}

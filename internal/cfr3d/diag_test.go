@@ -1,0 +1,33 @@
+package cfr3d
+
+import (
+	"testing"
+
+	"cacqr/internal/dist"
+	"cacqr/internal/grid"
+	"cacqr/internal/lin"
+	"cacqr/internal/simmpi"
+)
+
+func TestDiagInverseDepth2L(t *testing.T) {
+	const e, n, base = 2, 16, 4
+	a := lin.RandomSPD(n, 7)
+	_, err := simmpi.Run(e*e*e, func(p *simmpi.Proc) error {
+		cb, err := grid.NewCube(p.World(), e)
+		if err != nil {
+			return err
+		}
+		ad, err := dist.FromGlobal(a, e, e, cb.Y, cb.X)
+		if err != nil {
+			return err
+		}
+		res, err := Factor(cb, ad.Local, n, Options{BaseSize: base, InverseDepth: 2})
+		if err != nil {
+			return err
+		}
+		return checkFactor(a, cb, res, false)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,121 @@
+package cfr3d
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"cacqr/internal/dist"
+	"cacqr/internal/grid"
+	"cacqr/internal/lin"
+	"cacqr/internal/simmpi"
+)
+
+func TestFactorMinimumSize(t *testing.T) {
+	// n = E: one element per rank, immediate base case.
+	const e = 2
+	a := lin.RandomSPD(e, 3)
+	runCube(t, e, func(p *simmpi.Proc, cb *grid.Cube) error {
+		ad, err := dist.FromGlobal(a, e, e, cb.Y, cb.X)
+		if err != nil {
+			return err
+		}
+		res, err := Factor(cb, ad.Local, e, Options{})
+		if err != nil {
+			return err
+		}
+		return checkFactor(a, cb, res, true)
+	})
+}
+
+func TestFactorSequentialWithInverseDepth(t *testing.T) {
+	// e = 1 (sequential cube): InverseDepth must be harmless because the
+	// default base size equals n (no recursion happens).
+	a := lin.RandomSPD(16, 5)
+	runCube(t, 1, func(p *simmpi.Proc, cb *grid.Cube) error {
+		res, err := Factor(cb, a.Clone(), 16, Options{InverseDepth: 3})
+		if err != nil {
+			return err
+		}
+		return checkFactor(a, cb, res, true)
+	})
+}
+
+func TestFactorSequentialDeepRecursion(t *testing.T) {
+	// e = 1 with a tiny explicit base size: pure recursion without any
+	// communication must still match the sequential factorization.
+	for _, inv := range []int{0, 1, 4} {
+		inv := inv
+		t.Run(fmt.Sprintf("inv%d", inv), func(t *testing.T) {
+			a := lin.RandomSPD(32, 7)
+			runCube(t, 1, func(p *simmpi.Proc, cb *grid.Cube) error {
+				res, err := Factor(cb, a.Clone(), 32, Options{BaseSize: 2, InverseDepth: inv})
+				if err != nil {
+					return err
+				}
+				return checkFactor(a, cb, res, inv == 0)
+			})
+		})
+	}
+}
+
+func TestFactorDeepInverseDepthLCorrect(t *testing.T) {
+	// Regression: with InverseDepth ≥ 2, L21 = A21·L11⁻ᵀ must be applied
+	// by blocked substitution because the sub-call's Y11 has unformed
+	// off-diagonal blocks. A direct multiply by the incomplete inverse
+	// silently corrupts L (masked downstream by CholeskyQR2's
+	// self-correction).
+	for _, tc := range []struct{ e, n, base, inv int }{
+		{2, 16, 4, 2},
+		{2, 32, 4, 2},
+		{2, 32, 4, 3},
+		{2, 32, 8, 5}, // deeper than the recursion itself
+	} {
+		t.Run(fmt.Sprintf("e%d_n%d_inv%d", tc.e, tc.n, tc.inv), func(t *testing.T) {
+			a := lin.RandomSPD(tc.n, int64(tc.n+tc.inv))
+			runCube(t, tc.e, func(p *simmpi.Proc, cb *grid.Cube) error {
+				ad, err := dist.FromGlobal(a, tc.e, tc.e, cb.Y, cb.X)
+				if err != nil {
+					return err
+				}
+				res, err := Factor(cb, ad.Local, tc.n, Options{BaseSize: tc.base, InverseDepth: tc.inv})
+				if err != nil {
+					return err
+				}
+				return checkFactor(a, cb, res, false)
+			})
+		})
+	}
+}
+
+func TestFactorLargeBaseEqualsCholInv(t *testing.T) {
+	// base ≥ n: the whole factorization is one redundant base case and
+	// the flop count is exactly CholFlops + TriInvFlops.
+	const e, n = 2, 8
+	a := lin.RandomSPD(n, 9)
+	st, err := simmpi.RunWithOptions(e*e*e, simmpi.Options{
+		Cost:    simmpi.CostParams{Alpha: 1, Beta: 1, Gamma: 1},
+		Timeout: 60 * time.Second,
+	}, func(p *simmpi.Proc) error {
+		cb, err := grid.NewCube(p.World(), e)
+		if err != nil {
+			return err
+		}
+		ad, err := dist.FromGlobal(a, e, e, cb.Y, cb.X)
+		if err != nil {
+			return err
+		}
+		_, err = Factor(cb, ad.Local, n, Options{BaseSize: n})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MaxFlops != lin.CholFlops(n)+lin.TriInvFlops(n) {
+		t.Fatalf("flops %d, want %d", st.MaxFlops, lin.CholFlops(n)+lin.TriInvFlops(n))
+	}
+	// One slice Allgather of the full matrix.
+	if st.MaxWords != int64(n*n) {
+		t.Fatalf("words %d, want %d", st.MaxWords, n*n)
+	}
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fmt"
+
+	"cacqr/internal/dist"
+	"cacqr/internal/lin"
+	"cacqr/internal/simmpi"
+)
+
+// OneDCQR is the existing parallel 1D CholeskyQR (Algorithm 6) over a 1D
+// grid of P processors: each rank owns an m/P × n row block of A.
+//
+//	line 1: X = Syrk(Π⟨A⟩)           (local, (m/P)·n² flops)
+//	line 2: Z = Allreduce(X, Π)      (n² words)
+//	line 3: Rᵀ, R⁻ᵀ = CholInv(Z)     (redundant, n³ flops)
+//	line 4: Π⟨Q⟩ = MM(Π⟨A⟩, R⁻¹)     (local, 2(m/P)·n² flops)
+//
+// Returns this rank's Q block and the replicated n × n R.
+func OneDCQR(comm *simmpi.Comm, aLocal *lin.Matrix, m, n int) (qLocal, r *lin.Matrix, err error) {
+	p := comm.Proc()
+	np := comm.Size()
+	if m%np != 0 {
+		return nil, nil, fmt.Errorf("core: m=%d not divisible by P=%d", m, np)
+	}
+	if aLocal.Rows != m/np || aLocal.Cols != n {
+		return nil, nil, fmt.Errorf("core: local block %dx%d, want %dx%d", aLocal.Rows, aLocal.Cols, m/np, n)
+	}
+
+	x := lin.SyrkNew(aLocal)
+	if err := p.Compute(lin.SyrkFlops(aLocal.Rows, n)); err != nil {
+		return nil, nil, err
+	}
+
+	zFlat, err := comm.Allreduce(dist.Flatten(x))
+	if err != nil {
+		return nil, nil, err
+	}
+	z, err := dist.Unflatten(n, n, zFlat)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	l, y, err := lin.CholInv(z)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrIllConditioned, err)
+	}
+	if err := p.Compute(lin.CholFlops(n) + lin.TriInvFlops(n)); err != nil {
+		return nil, nil, err
+	}
+
+	// Q = A·(L⁻¹)ᵀ = A·R⁻¹, charged at the TRMM rate (R⁻¹ triangular),
+	// matching the paper's 4mn² + (5/3)n³ critical-path count.
+	qLocal = lin.NewMatrix(aLocal.Rows, n)
+	lin.Gemm(false, true, 1, aLocal, y, 0, qLocal)
+	if err := p.Compute(lin.TrsmFlops(aLocal.Rows, n)); err != nil {
+		return nil, nil, err
+	}
+	return qLocal, l.T(), nil
+}
+
+// OneDCQR2 is Algorithm 7: two OneDCQR passes and a local triangular
+// product R = R₂·R₁ ((1/3)n³ flops).
+func OneDCQR2(comm *simmpi.Comm, aLocal *lin.Matrix, m, n int) (qLocal, r *lin.Matrix, err error) {
+	q1, r1, err := OneDCQR(comm, aLocal, m, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	q, r2, err := OneDCQR(comm, q1, m, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	r = r2.Clone()
+	lin.Trmm(lin.Right, lin.Upper, false, r1, r)
+	if err := comm.Proc().Compute(lin.TriInvFlops(n)); err != nil { // (1/3)n³
+		return nil, nil, err
+	}
+	return q, r, nil
+}

@@ -1,0 +1,28 @@
+package core
+
+import (
+	"fmt"
+
+	"cacqr/internal/grid"
+	"cacqr/internal/lin"
+	"cacqr/internal/simmpi"
+)
+
+// ThreeDCQR2 is the paper's 3D-CQR2 (§III-A): CA-CQR2 specialized to the
+// cubic grid c = d = P^{1/3}, the variant best suited to square-ish
+// matrices. It builds the e×e×e grid over the first e³ members of comm
+// and runs Algorithm 9 on it.
+//
+// aLocal is this rank's m/e × n/e cyclic block (rows over y, columns
+// over x, replicated across depth z). Ranks outside the grid receive
+// nil results.
+func ThreeDCQR2(comm *simmpi.Comm, aLocal *lin.Matrix, m, n, e int, prm Params) (qLocal, rLocal *lin.Matrix, err error) {
+	g, err := grid.New(comm, e, e)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: 3D grid: %w", err)
+	}
+	if g == nil {
+		return nil, nil, nil
+	}
+	return CACQR2(g, aLocal, m, n, prm)
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"fmt"
+
+	"cacqr/internal/dist"
+	"cacqr/internal/grid"
+	"cacqr/internal/lin"
+	"cacqr/internal/mm3d"
+)
+
+// PanelCACQR2 implements the paper's §V future-work proposal: "a CA-CQR2
+// algorithm that operates on subpanels to reduce computation cost
+// overhead ... for near-square matrices".
+//
+// The matrix is processed in column panels of width b. Each panel is
+// factored by CA-CQR2 (tall-skinny, where CholeskyQR2's flop overhead is
+// mild), then the trailing columns are updated Householder-style:
+//
+//	for each panel k:
+//	    Q_k, R_kk = CA-CQR2(A_k)                  (Algorithm 9)
+//	    R_k,rest  = Q_kᵀ · A_rest                 (Gram-pattern product)
+//	    A_rest   -= Q_k · R_k,rest                (MM3D per subcube)
+//
+// Whole-matrix CA-CQR2 pays ~4mn² flops versus Householder's 2mn²; the
+// panel variant pays ~2mn² + O(mnb), halving the overhead when b ≪ n.
+// The price is more synchronization (n/b panel factorizations in
+// sequence) — the same tradeoff axis as the paper's other knobs.
+//
+// Requires c | b and b | n. b = n degenerates to plain CA-CQR2.
+func PanelCACQR2(g *grid.Grid, aLocal *lin.Matrix, m, n, b int, prm Params) (qLocal, rLocal *lin.Matrix, err error) {
+	if err := checkShapes(g, aLocal, m, n); err != nil {
+		return nil, nil, err
+	}
+	if b < 1 || b%g.C != 0 || n%b != 0 {
+		return nil, nil, fmt.Errorf("core: panel width %d must satisfy c | b and b | n (c=%d, n=%d)", b, g.C, n)
+	}
+	c := g.C
+	bloc := b / c          // local columns per panel
+	work := aLocal.Clone() // trailing matrix, updated in place
+	q := lin.NewMatrix(aLocal.Rows, aLocal.Cols)
+	r := lin.NewMatrix(n/c, n/c) // n×n cyclic block over the subcube slice
+
+	np := n / b
+	for k := 0; k < np; k++ {
+		panel := work.View(0, k*bloc, work.Rows, bloc).Clone()
+		qk, rkk, err := CACQR2(g, panel, m, b, prm)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: panel %d: %w", k, err)
+		}
+		q.View(0, k*bloc, q.Rows, bloc).CopyFrom(qk)
+		// R_kk occupies global rows/cols [k·b, (k+1)·b); with c | b its
+		// cyclic block lands at local offset k·b/c in the n×n block.
+		r.View(k*bloc, k*bloc, bloc, bloc).CopyFrom(rkk)
+
+		restLoc := work.Cols - (k+1)*bloc
+		if restLoc == 0 {
+			continue
+		}
+		rest := work.View(0, (k+1)*bloc, work.Rows, restLoc)
+
+		// R_k,rest = Q_kᵀ·A_rest via the Algorithm 8 Gram pattern.
+		rkRest, err := gramProduct(g, qk, rest.Clone(), b, restLoc*c)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: panel %d trailing product: %w", k, err)
+		}
+		r.View(k*bloc, (k+1)*bloc, bloc, restLoc).CopyFrom(rkRest)
+
+		// A_rest -= Q_k · R_k,rest over the subcube.
+		upd, err := mm3d.Multiply(g.Cube, qk, rkRest)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: panel %d trailing update: %w", k, err)
+		}
+		rest.Sub(upd)
+		if err := g.World.Proc().Compute(lin.AxpyFlops(rest.Rows, rest.Cols)); err != nil {
+			return nil, nil, err
+		}
+	}
+	return q, r, nil
+}
+
+// gramProduct computes C = Qᵀ·B for row-distributed Q (m×bq) and B
+// (m×nb) whose local blocks are qLoc (m/d × bq/c) and bLoc (m/d × nb/c),
+// both replicated over depth. The result is the bq×nb matrix distributed
+// cyclically over each subcube slice (rows over cube-y, columns over x)
+// and replicated across depth and subcubes — the Algorithm 8 lines 1–5
+// communication pattern with Q in place of A's left operand.
+func gramProduct(g *grid.Grid, qLoc, bLoc *lin.Matrix, bq, nb int) (*lin.Matrix, error) {
+	p := g.World.Proc()
+	c := g.C
+
+	var qRoot []float64
+	if g.X == g.Z {
+		qRoot = dist.Flatten(qLoc)
+	}
+	wFlat, err := g.XComm.Bcast(g.Z, qRoot)
+	if err != nil {
+		return nil, err
+	}
+	w, err := dist.Unflatten(qLoc.Rows, qLoc.Cols, wFlat)
+	if err != nil {
+		return nil, err
+	}
+
+	x := lin.NewMatrix(bq/c, nb/c)
+	lin.Gemm(true, false, 1, w, bLoc, 0, x)
+	if err := p.Compute(lin.GemmFlops(bq/c, nb/c, qLoc.Rows)); err != nil {
+		return nil, err
+	}
+
+	xFlat := dist.Flatten(x)
+	yFlat, err := g.YGroup.Reduce(g.Z, xFlat)
+	if err != nil {
+		return nil, err
+	}
+	contrib := yFlat
+	if contrib == nil {
+		contrib = make([]float64, len(xFlat))
+	}
+	zFlat, err := g.YStride.Allreduce(contrib)
+	if err != nil {
+		return nil, err
+	}
+	var zRoot []float64
+	if g.Z == g.Y%c {
+		zRoot = zFlat
+	}
+	out, err := g.ZComm.Bcast(g.Y%c, zRoot)
+	if err != nil {
+		return nil, err
+	}
+	return dist.Unflatten(bq/c, nb/c, out)
+}

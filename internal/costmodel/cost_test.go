@@ -1,0 +1,104 @@
+package costmodel
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func randCost(seed int64) Cost {
+	s := uint64(seed)
+	next := func() int64 {
+		s = s*6364136223846793005 + 1442695040888963407
+		return int64(s >> 40)
+	}
+	return Cost{Msgs: next(), Words: next(), Flops: next(), UpdateFlops: next(), PanelFlops: next()}
+}
+
+func TestCostAddCommutative(t *testing.T) {
+	f := func(s1, s2 int64) bool {
+		a, b := randCost(s1), randCost(s2)
+		return a.Add(b) == b.Add(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCostAddAssociative(t *testing.T) {
+	f := func(s1, s2, s3 int64) bool {
+		a, b, c := randCost(s1), randCost(s2), randCost(s3)
+		return a.Add(b).Add(c) == a.Add(b.Add(c))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCostScaleDistributes(t *testing.T) {
+	f := func(s1, s2 int64, k uint8) bool {
+		a, b := randCost(s1), randCost(s2)
+		kk := int64(k)
+		return a.Add(b).Scale(kk) == a.Scale(kk).Add(b.Scale(kk))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCostTotalFlops(t *testing.T) {
+	c := Cost{Flops: 1, UpdateFlops: 2, PanelFlops: 4}
+	if c.TotalFlops() != 7 {
+		t.Fatalf("TotalFlops = %d", c.TotalFlops())
+	}
+	if c.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestCollectiveCostEdgeCases(t *testing.T) {
+	// Single-member communicators are free.
+	for name, c := range map[string]Cost{
+		"bcast":     Bcast(100, 1),
+		"reduce":    Reduce(100, 1),
+		"allreduce": Allreduce(100, 1),
+		"allgather": Allgather(100, 1),
+		"transpose": Transpose(100, 1),
+	} {
+		if c != (Cost{}) {
+			t.Fatalf("%s on P=1 not free: %v", name, c)
+		}
+	}
+	// Two members: one doubling round.
+	if got := Allgather(10, 2); got.Msgs != 1 || got.Words != 10 {
+		t.Fatalf("allgather P=2: %v", got)
+	}
+	if got := Bcast(10, 2); got.Msgs != 2 || got.Words != 20 {
+		t.Fatalf("bcast P=2: %v", got)
+	}
+}
+
+func TestMachineTimeComposition(t *testing.T) {
+	m := Machine{AlphaSec: 1, InjBandwidth: 8, PeakNodeFlops: 1, PPN: 1, Duplex: 1,
+		GemmEff: 1, UpdateEff: 0.5, PanelEff: 0.25}
+	// β = 8·1/8 = 1 s/word; γ = 1; γ_upd = 2; γ_panel = 4.
+	c := Cost{Msgs: 1, Words: 2, Flops: 3, UpdateFlops: 4, PanelFlops: 5}
+	want := 1.0 + 2.0 + 3.0 + 8.0 + 20.0
+	if got := m.Time(c); got != want {
+		t.Fatalf("Time = %v, want %v", got, want)
+	}
+}
+
+func TestGFlopsPerNodeUsesHouseholderCount(t *testing.T) {
+	m := Machine{AlphaSec: 1, InjBandwidth: 8, PeakNodeFlops: 1, PPN: 1, Duplex: 1,
+		GemmEff: 1, UpdateEff: 1, PanelEff: 1}
+	// Cost of exactly 1 second.
+	c := Cost{Flops: 1}
+	gf := m.GFlopsPerNode(c, 100, 10, 2)
+	want := (2*100*10*10 - 2*10*10*10/3.0) / 1.0 / 2.0 / 1e9
+	if diff := gf - want; diff > 1e-15 || diff < -1e-15 {
+		t.Fatalf("GFlopsPerNode = %v, want %v", gf, want)
+	}
+	if m.GFlopsPerNode(Cost{}, 100, 10, 2) != 0 {
+		t.Fatal("zero-cost should report 0")
+	}
+}

@@ -1,0 +1,40 @@
+package costmodel
+
+import "fmt"
+
+// Memory-footprint model for the paper's §III-B claim: CA-CQR2's
+// per-process footprint is Θ(mn/(dc) + n²/c²) words, and §IV's
+// observation that "the parameter c determines the memory footprint
+// overhead; the more replication being used (c), the larger the expected
+// communication improvement (√c)".
+
+// CACQR2Memory returns the peak per-process words held by the CA-CQR2
+// implementation on a c×d×c grid, counted from the buffers the
+// implementation actually keeps live:
+//
+//	A, W (broadcast copy), Q          — 3 · mn/(dc)
+//	X, Z (Gram blocks), L, Y, R, MM3D temporaries — 7 · n²/c²
+func CACQR2Memory(m, n int, prm CACQRParams) (int64, error) {
+	c, d := prm.C, prm.D
+	if c < 1 || d < c {
+		return 0, fmt.Errorf("costmodel: invalid grid c=%d d=%d", c, d)
+	}
+	if m%d != 0 || n%c != 0 {
+		return 0, fmt.Errorf("costmodel: %dx%d not divisible by grid %dx%d", m, n, d, c)
+	}
+	mloc := int64(m / d)
+	nloc := int64(n / c)
+	return 3*mloc*nloc + 7*nloc*nloc, nil
+}
+
+// PGEQRFMemory returns the baseline's per-process words: the local
+// block-cyclic matrix plus a replicated panel and update workspace.
+func PGEQRFMemory(m, n, pr, pc, nb int) (int64, error) {
+	if m%pr != 0 || n%nb != 0 {
+		return 0, fmt.Errorf("costmodel: pgeqrf shape %dx%d grid %dx%d nb %d", m, n, pr, pc, nb)
+	}
+	mloc := int64(m / pr)
+	nlocMax := int64((n/nb + pc - 1) / pc * nb)
+	panel := mloc*int64(nb) + int64(nb*nb)
+	return mloc*nlocMax + 2*panel, nil
+}

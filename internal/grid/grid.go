@@ -1,0 +1,293 @@
+// Package grid builds the tunable c × d × c processor grids of the
+// CA-CQR2 paper on top of simmpi communicators: per-dimension
+// communicators, 2D slices, the contiguous and strided y-subgroups of
+// Algorithm 8, and the c × c × c subcubes on which CFR3D and MM3D run.
+//
+// Rank (x, y, z) of a c × d × c grid linearizes as x + c·(y + d·z), with
+// x ∈ [0, c), y ∈ [0, d), z ∈ [0, c). The paper's 3D grid is the special
+// case d = c, and its 1D grid is c = 1.
+package grid
+
+import (
+	"fmt"
+
+	"cacqr/internal/simmpi"
+)
+
+// Grid is one rank's view of a c × d × c processor grid.
+type Grid struct {
+	C, D    int // grid dimensions: C × D × C
+	X, Y, Z int // this rank's coordinates
+
+	// World spans all C·D·C grid members (the communicator the grid was
+	// built over), ordered by linearized coordinates.
+	World *simmpi.Comm
+	// XComm is Π[:, y, z]: the C ranks varying x. Index = x.
+	XComm *simmpi.Comm
+	// YComm is Π[x, :, z]: the D ranks varying y. Index = y.
+	YComm *simmpi.Comm
+	// ZComm is Π[x, y, :]: the C ranks varying z (depth). Index = z.
+	ZComm *simmpi.Comm
+	// Slice is Π[:, :, z]: the C·D ranks of this rank's 2D slice,
+	// ordered y-major (index = y·C + x).
+	Slice *simmpi.Comm
+	// YGroup is Π[x, c⌊y/c⌋ : c⌊y/c⌋+c−1, z]: the contiguous group of C
+	// ranks along y containing this rank (Algorithm 8 line 3).
+	// Index = y mod C.
+	YGroup *simmpi.Comm
+	// YStride is Π[x, y mod c : c : d−1, z]: the D/C ranks along y whose
+	// y ≡ this rank's y (mod C) (Algorithm 8 line 4). Index = ⌊y/C⌋.
+	YStride *simmpi.Comm
+	// Cube is the c × c × c subcube containing this rank (Algorithm 8
+	// line 6), on which CFR3D and MM3D execute.
+	Cube *Cube
+	// Group is ⌊y/C⌋: which subcube along the y dimension this rank
+	// belongs to, in [0, D/C).
+	Group int
+}
+
+// Cube is one rank's view of an E × E × E cubic grid (a subcube of a
+// Grid, or a standalone 3D grid).
+type Cube struct {
+	E       int // cube edge
+	X, Y, Z int // coordinates within the cube
+
+	// Comm spans all E³ cube members, ordered x + E·(y + E·z).
+	Comm *simmpi.Comm
+	// XComm, YComm, ZComm vary one coordinate each (sizes E).
+	XComm, YComm, ZComm *simmpi.Comm
+	// Slice is the cube's 2D slice Π[:, :, z] (E² ranks, index y·E + x).
+	Slice *simmpi.Comm
+}
+
+// New builds a c × d × c grid over the first c·d·c members of comm.
+// Every member of comm must call New with the same arguments; members
+// beyond c·d·c receive a nil grid (they still participate in communicator
+// construction bookkeeping, which is local). Requires c ≥ 1, d ≥ 1, and
+// c | d so the subcube partition of Algorithm 8 exists.
+func New(comm *simmpi.Comm, c, d int) (*Grid, error) {
+	if c < 1 || d < 1 {
+		return nil, fmt.Errorf("grid: invalid dimensions c=%d d=%d", c, d)
+	}
+	if d%c != 0 {
+		return nil, fmt.Errorf("grid: c=%d must divide d=%d for the subcube partition", c, d)
+	}
+	p := c * d * c
+	if comm.Size() < p {
+		return nil, fmt.Errorf("grid: need %d ranks for a %dx%dx%d grid, have %d", p, c, d, c, comm.Size())
+	}
+
+	rank := comm.Index()
+	inGrid := rank < p
+
+	// Coordinates of this rank (valid only when inGrid).
+	x := rank % c
+	y := (rank / c) % d
+	z := rank / (c * d)
+
+	g := &Grid{C: c, D: d, X: x, Y: y, Z: z}
+
+	lin := func(x, y, z int) int { return x + c*(y+d*z) }
+
+	// All communicators are built with Subgroup, which is collective in
+	// bookkeeping but communication-free: every rank enumerates every
+	// group in the same order.
+	world := make([]int, p)
+	for i := range world {
+		world[i] = i
+	}
+	if w := comm.Subgroup(world); w != nil {
+		g.World = w
+	}
+
+	// X communicators: one per (y, z).
+	for zz := 0; zz < c; zz++ {
+		for yy := 0; yy < d; yy++ {
+			idx := make([]int, c)
+			for xx := 0; xx < c; xx++ {
+				idx[xx] = lin(xx, yy, zz)
+			}
+			if cm := comm.Subgroup(idx); cm != nil {
+				g.XComm = cm
+			}
+		}
+	}
+	// Y communicators: one per (x, z).
+	for zz := 0; zz < c; zz++ {
+		for xx := 0; xx < c; xx++ {
+			idx := make([]int, d)
+			for yy := 0; yy < d; yy++ {
+				idx[yy] = lin(xx, yy, zz)
+			}
+			if cm := comm.Subgroup(idx); cm != nil {
+				g.YComm = cm
+			}
+		}
+	}
+	// Z (depth) communicators: one per (x, y).
+	for yy := 0; yy < d; yy++ {
+		for xx := 0; xx < c; xx++ {
+			idx := make([]int, c)
+			for zz := 0; zz < c; zz++ {
+				idx[zz] = lin(xx, yy, zz)
+			}
+			if cm := comm.Subgroup(idx); cm != nil {
+				g.ZComm = cm
+			}
+		}
+	}
+	// Slices: one per z, ordered y-major.
+	for zz := 0; zz < c; zz++ {
+		idx := make([]int, 0, c*d)
+		for yy := 0; yy < d; yy++ {
+			for xx := 0; xx < c; xx++ {
+				idx = append(idx, lin(xx, yy, zz))
+			}
+		}
+		if cm := comm.Subgroup(idx); cm != nil {
+			g.Slice = cm
+		}
+	}
+	// Contiguous y-groups of size c: one per (x, z, group).
+	ngroups := d / c
+	for zz := 0; zz < c; zz++ {
+		for gg := 0; gg < ngroups; gg++ {
+			for xx := 0; xx < c; xx++ {
+				idx := make([]int, c)
+				for yy := 0; yy < c; yy++ {
+					idx[yy] = lin(xx, gg*c+yy, zz)
+				}
+				if cm := comm.Subgroup(idx); cm != nil {
+					g.YGroup = cm
+				}
+			}
+		}
+	}
+	// Strided y-groups (step c): one per (x, z, y mod c).
+	for zz := 0; zz < c; zz++ {
+		for rr := 0; rr < c; rr++ {
+			for xx := 0; xx < c; xx++ {
+				idx := make([]int, ngroups)
+				for gg := 0; gg < ngroups; gg++ {
+					idx[gg] = lin(xx, gg*c+rr, zz)
+				}
+				if cm := comm.Subgroup(idx); cm != nil {
+					g.YStride = cm
+				}
+			}
+		}
+	}
+	// Subcubes: one per group, each an E=c cube over y ∈ [g·c, g·c+c).
+	for gg := 0; gg < ngroups; gg++ {
+		idx := make([]int, 0, c*c*c)
+		for zz := 0; zz < c; zz++ {
+			for yy := 0; yy < c; yy++ {
+				for xx := 0; xx < c; xx++ {
+					idx = append(idx, lin(xx, gg*c+yy, zz))
+				}
+			}
+		}
+		cube := buildCube(comm, idx, c)
+		if cube != nil {
+			g.Cube = cube
+		}
+	}
+
+	if !inGrid {
+		return nil, nil
+	}
+	g.Group = y / c
+	return g, nil
+}
+
+// NewCube builds a standalone E × E × E cubic grid over the first E³
+// members of comm (the paper's 3D grid for 3D-CQR2; also used directly by
+// MM3D and CFR3D tests). Members beyond E³ receive nil.
+func NewCube(comm *simmpi.Comm, e int) (*Cube, error) {
+	if e < 1 {
+		return nil, fmt.Errorf("grid: invalid cube edge %d", e)
+	}
+	if comm.Size() < e*e*e {
+		return nil, fmt.Errorf("grid: need %d ranks for an edge-%d cube, have %d", e*e*e, e, comm.Size())
+	}
+	idx := make([]int, e*e*e)
+	for i := range idx {
+		idx[i] = i
+	}
+	return buildCube(comm, idx, e), nil
+}
+
+// buildCube constructs cube communicators over the given parent indices
+// (length e³, ordered x + e·(y + e·z)). All parent ranks must call it;
+// non-members get nil.
+func buildCube(comm *simmpi.Comm, idx []int, e int) *Cube {
+	lin := func(x, y, z int) int { return idx[x+e*(y+e*z)] }
+
+	var cb Cube
+	cb.E = e
+	member := false
+
+	if cm := comm.Subgroup(idx); cm != nil {
+		cb.Comm = cm
+		member = true
+		r := cm.Index()
+		cb.X = r % e
+		cb.Y = (r / e) % e
+		cb.Z = r / (e * e)
+	}
+	for zz := 0; zz < e; zz++ {
+		for yy := 0; yy < e; yy++ {
+			row := make([]int, e)
+			for xx := 0; xx < e; xx++ {
+				row[xx] = lin(xx, yy, zz)
+			}
+			if cm := comm.Subgroup(row); cm != nil {
+				cb.XComm = cm
+			}
+		}
+	}
+	for zz := 0; zz < e; zz++ {
+		for xx := 0; xx < e; xx++ {
+			col := make([]int, e)
+			for yy := 0; yy < e; yy++ {
+				col[yy] = lin(xx, yy, zz)
+			}
+			if cm := comm.Subgroup(col); cm != nil {
+				cb.YComm = cm
+			}
+		}
+	}
+	for yy := 0; yy < e; yy++ {
+		for xx := 0; xx < e; xx++ {
+			depth := make([]int, e)
+			for zz := 0; zz < e; zz++ {
+				depth[zz] = lin(xx, yy, zz)
+			}
+			if cm := comm.Subgroup(depth); cm != nil {
+				cb.ZComm = cm
+			}
+		}
+	}
+	for zz := 0; zz < e; zz++ {
+		sl := make([]int, 0, e*e)
+		for yy := 0; yy < e; yy++ {
+			for xx := 0; xx < e; xx++ {
+				sl = append(sl, lin(xx, yy, zz))
+			}
+		}
+		if cm := comm.Subgroup(sl); cm != nil {
+			cb.Slice = cm
+		}
+	}
+	if !member {
+		return nil
+	}
+	return &cb
+}
+
+// TransposePartner returns the index within Slice of the rank at the
+// transposed coordinates (y, x, z) — the partner for the paper's
+// Transpose collective on a cyclic distribution.
+func (cb *Cube) TransposePartner() int {
+	return cb.X*cb.E + cb.Y
+}

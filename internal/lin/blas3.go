@@ -1,0 +1,481 @@
+package lin
+
+// Level-3 kernels: GEMM, SYRK, TRSM, TRMM. All are cache-blocked with a
+// fixed tile size; correctness, not peak rate, is the goal (the cost model
+// owns rates). Each kernel documents its flop count so instrumentation in
+// the distributed algorithms can charge the α-β-γ model exactly.
+
+// blockSize is the tile edge used by the blocked kernels. 48 keeps three
+// f64 tiles (~55 KB) inside a typical 256 KB L2 while staying friendly to
+// small matrices.
+const blockSize = 48
+
+// Triangle selects the triangular half of a matrix an operation refers to.
+type Triangle int
+
+// Triangular halves.
+const (
+	Lower Triangle = iota
+	Upper
+)
+
+// Side selects whether a triangular operand appears on the left or right.
+type Side int
+
+// Operand sides.
+const (
+	Left Side = iota
+	Right
+)
+
+// Gemm computes C = beta*C + alpha*op(A)*op(B), with op controlled by
+// transA and transB. It performs 2*m*n*k flops for the inner product part
+// (m, n the shape of C, k the contraction length).
+func Gemm(transA, transB bool, alpha float64, a, b *Matrix, beta float64, c *Matrix) {
+	ar, ac := a.Rows, a.Cols
+	if transA {
+		ar, ac = ac, ar
+	}
+	br, bc := b.Rows, b.Cols
+	if transB {
+		br, bc = bc, br
+	}
+	if ac != br || c.Rows != ar || c.Cols != bc {
+		panic(ErrShape)
+	}
+	if beta != 1 {
+		if beta == 0 {
+			c.Zero()
+		} else {
+			c.Scale(beta)
+		}
+	}
+	if alpha == 0 || ar == 0 || bc == 0 || ac == 0 {
+		return
+	}
+	switch {
+	case !transA && !transB:
+		gemmNN(alpha, a, b, c)
+	case !transA && transB:
+		gemmNT(alpha, a, b, c)
+	case transA && !transB:
+		gemmTN(alpha, a, b, c)
+	default:
+		gemmTT(alpha, a, b, c)
+	}
+}
+
+// gemmNN: C += alpha * A * B, blocked over (i, k, j) with an inner loop
+// that streams rows of B against a scalar of A (good row-major locality).
+func gemmNN(alpha float64, a, b, c *Matrix) {
+	m, k, n := a.Rows, a.Cols, b.Cols
+	for ii := 0; ii < m; ii += blockSize {
+		iMax := min(ii+blockSize, m)
+		for kk := 0; kk < k; kk += blockSize {
+			kMax := min(kk+blockSize, k)
+			for jj := 0; jj < n; jj += blockSize {
+				jMax := min(jj+blockSize, n)
+				for i := ii; i < iMax; i++ {
+					ci := c.Data[i*c.Stride+jj : i*c.Stride+jMax]
+					for l := kk; l < kMax; l++ {
+						av := alpha * a.Data[i*a.Stride+l]
+						if av == 0 {
+							continue
+						}
+						bl := b.Data[l*b.Stride+jj : l*b.Stride+jMax]
+						for j := range ci {
+							ci[j] += av * bl[j]
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// gemmNT: C += alpha * A * Bᵀ — dot products of rows of A with rows of B.
+func gemmNT(alpha float64, a, b, c *Matrix) {
+	m, k, n := a.Rows, a.Cols, b.Rows
+	for ii := 0; ii < m; ii += blockSize {
+		iMax := min(ii+blockSize, m)
+		for jj := 0; jj < n; jj += blockSize {
+			jMax := min(jj+blockSize, n)
+			for kk := 0; kk < k; kk += blockSize {
+				kMax := min(kk+blockSize, k)
+				for i := ii; i < iMax; i++ {
+					ai := a.Data[i*a.Stride+kk : i*a.Stride+kMax]
+					for j := jj; j < jMax; j++ {
+						bj := b.Data[j*b.Stride+kk : j*b.Stride+kMax]
+						var sum float64
+						for l := range ai {
+							sum += ai[l] * bj[l]
+						}
+						c.Data[i*c.Stride+j] += alpha * sum
+					}
+				}
+			}
+		}
+	}
+}
+
+// gemmTN: C += alpha * Aᵀ * B — saxpy of rows of B scaled by columns of A.
+func gemmTN(alpha float64, a, b, c *Matrix) {
+	m, k, n := a.Cols, a.Rows, b.Cols
+	for kk := 0; kk < k; kk += blockSize {
+		kMax := min(kk+blockSize, k)
+		for ii := 0; ii < m; ii += blockSize {
+			iMax := min(ii+blockSize, m)
+			for jj := 0; jj < n; jj += blockSize {
+				jMax := min(jj+blockSize, n)
+				for l := kk; l < kMax; l++ {
+					bl := b.Data[l*b.Stride+jj : l*b.Stride+jMax]
+					for i := ii; i < iMax; i++ {
+						av := alpha * a.Data[l*a.Stride+i]
+						if av == 0 {
+							continue
+						}
+						ci := c.Data[i*c.Stride+jj : i*c.Stride+jMax]
+						for j := range ci {
+							ci[j] += av * bl[j]
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// gemmTT: C += alpha * Aᵀ * Bᵀ.
+func gemmTT(alpha float64, a, b, c *Matrix) {
+	m, k, n := a.Cols, a.Rows, b.Rows
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var sum float64
+			for l := 0; l < k; l++ {
+				sum += a.Data[l*a.Stride+i] * b.Data[j*b.Stride+l]
+			}
+			c.Data[i*c.Stride+j] += alpha * sum
+		}
+	}
+}
+
+// MatMul returns A*B as a new matrix (the paper's MM building block;
+// 2*m*n*k flops).
+func MatMul(a, b *Matrix) *Matrix {
+	c := NewMatrix(a.Rows, b.Cols)
+	Gemm(false, false, 1, a, b, 0, c)
+	return c
+}
+
+// Syrk computes C = beta*C + alpha*AᵀA into the full symmetric matrix C
+// (both halves are written, since the distributed algorithms communicate
+// full matrices). A is m×n, C is n×n; the paper charges m*n² flops.
+func Syrk(alpha float64, a *Matrix, beta float64, c *Matrix) {
+	n := a.Cols
+	if c.Rows != n || c.Cols != n {
+		panic(ErrShape)
+	}
+	if beta != 1 {
+		if beta == 0 {
+			c.Zero()
+		} else {
+			c.Scale(beta)
+		}
+	}
+	// Accumulate the upper triangle with blocked rank-1 updates, then
+	// mirror. Streaming rows of A keeps this cache-friendly.
+	for kk := 0; kk < a.Rows; kk += blockSize {
+		kMax := min(kk+blockSize, a.Rows)
+		for l := kk; l < kMax; l++ {
+			row := a.Data[l*a.Stride : l*a.Stride+n]
+			for i := 0; i < n; i++ {
+				av := alpha * row[i]
+				if av == 0 {
+					continue
+				}
+				ci := c.Data[i*c.Stride : i*c.Stride+n]
+				for j := i; j < n; j++ {
+					ci[j] += av * row[j]
+				}
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			c.Data[j*c.Stride+i] = c.Data[i*c.Stride+j]
+		}
+	}
+}
+
+// SyrkNew returns AᵀA.
+func SyrkNew(a *Matrix) *Matrix {
+	c := NewMatrix(a.Cols, a.Cols)
+	Syrk(1, a, 0, c)
+	return c
+}
+
+// Trsm solves a triangular system in place against the rows or columns of
+// B: with side == Right and tri == Upper it computes B = B * T⁻¹ (the
+// CholeskyQR "Q = A R⁻¹" step); with side == Left and tri == Lower it
+// computes B = T⁻¹ * B. transT applies the solve with Tᵀ. m*n² flops for
+// Right (B m×n), n²m for Left.
+func Trsm(side Side, tri Triangle, transT bool, t, b *Matrix) {
+	if t.Rows != t.Cols {
+		panic(ErrShape)
+	}
+	n := t.Rows
+	if side == Right && b.Cols != n || side == Left && b.Rows != n {
+		panic(ErrShape)
+	}
+	for i := 0; i < n; i++ {
+		if t.Data[i*t.Stride+i] == 0 {
+			panic(ErrSingular)
+		}
+	}
+	switch {
+	case side == Right && tri == Upper && !transT:
+		// B := B U⁻¹: forward substitution across columns of each row.
+		for r := 0; r < b.Rows; r++ {
+			row := b.Data[r*b.Stride : r*b.Stride+n]
+			for j := 0; j < n; j++ {
+				v := row[j]
+				for k := 0; k < j; k++ {
+					v -= row[k] * t.Data[k*t.Stride+j]
+				}
+				row[j] = v / t.Data[j*t.Stride+j]
+			}
+		}
+	case side == Right && tri == Lower && !transT:
+		// B := B L⁻¹: backward substitution.
+		for r := 0; r < b.Rows; r++ {
+			row := b.Data[r*b.Stride : r*b.Stride+n]
+			for j := n - 1; j >= 0; j-- {
+				v := row[j]
+				for k := j + 1; k < n; k++ {
+					v -= row[k] * t.Data[k*t.Stride+j]
+				}
+				row[j] = v / t.Data[j*t.Stride+j]
+			}
+		}
+	case side == Left && tri == Lower && !transT:
+		// B := L⁻¹ B.
+		for i := 0; i < n; i++ {
+			d := t.Data[i*t.Stride+i]
+			bi := b.Data[i*b.Stride : i*b.Stride+b.Cols]
+			for k := 0; k < i; k++ {
+				lv := t.Data[i*t.Stride+k]
+				if lv == 0 {
+					continue
+				}
+				bk := b.Data[k*b.Stride : k*b.Stride+b.Cols]
+				for j := range bi {
+					bi[j] -= lv * bk[j]
+				}
+			}
+			for j := range bi {
+				bi[j] /= d
+			}
+		}
+	case side == Left && tri == Upper && !transT:
+		// B := U⁻¹ B.
+		for i := n - 1; i >= 0; i-- {
+			d := t.Data[i*t.Stride+i]
+			bi := b.Data[i*b.Stride : i*b.Stride+b.Cols]
+			for k := i + 1; k < n; k++ {
+				uv := t.Data[i*t.Stride+k]
+				if uv == 0 {
+					continue
+				}
+				bk := b.Data[k*b.Stride : k*b.Stride+b.Cols]
+				for j := range bi {
+					bi[j] -= uv * bk[j]
+				}
+			}
+			for j := range bi {
+				bi[j] /= d
+			}
+		}
+	case side == Left && tri == Lower && transT:
+		// B := L⁻ᵀ B — Lᵀ is upper triangular; back substitution.
+		for i := n - 1; i >= 0; i-- {
+			d := t.Data[i*t.Stride+i]
+			bi := b.Data[i*b.Stride : i*b.Stride+b.Cols]
+			for j := range bi {
+				bi[j] /= d
+			}
+			for k := 0; k < i; k++ {
+				lv := t.Data[i*t.Stride+k] // (Lᵀ)[k][i]
+				if lv == 0 {
+					continue
+				}
+				bk := b.Data[k*b.Stride : k*b.Stride+b.Cols]
+				for j := range bk {
+					bk[j] -= lv * bi[j]
+				}
+			}
+		}
+	case side == Right && tri == Lower && transT:
+		// B := B L⁻ᵀ — Lᵀ upper: forward substitution over columns.
+		for r := 0; r < b.Rows; r++ {
+			row := b.Data[r*b.Stride : r*b.Stride+n]
+			for j := 0; j < n; j++ {
+				v := row[j]
+				for k := 0; k < j; k++ {
+					v -= row[k] * t.Data[j*t.Stride+k] // (Lᵀ)[k][j] = L[j][k]
+				}
+				row[j] = v / t.Data[j*t.Stride+j]
+			}
+		}
+	default:
+		panic("lin: Trsm variant not implemented")
+	}
+}
+
+// Trmm computes B = T*B (side == Left) or B = B*T (side == Right) in
+// place for triangular T. transT multiplies by Tᵀ instead. n²m flops.
+func Trmm(side Side, tri Triangle, transT bool, t, b *Matrix) {
+	if t.Rows != t.Cols {
+		panic(ErrShape)
+	}
+	n := t.Rows
+	if side == Right && b.Cols != n || side == Left && b.Rows != n {
+		panic(ErrShape)
+	}
+	switch {
+	case side == Right && tri == Upper && !transT:
+		// B := B U. Process columns right-to-left so inputs stay live.
+		for r := 0; r < b.Rows; r++ {
+			row := b.Data[r*b.Stride : r*b.Stride+n]
+			for j := n - 1; j >= 0; j-- {
+				v := row[j] * t.Data[j*t.Stride+j]
+				for k := 0; k < j; k++ {
+					v += row[k] * t.Data[k*t.Stride+j]
+				}
+				row[j] = v
+			}
+		}
+	case side == Left && tri == Lower && !transT:
+		// B := L B. Process rows bottom-up.
+		for i := n - 1; i >= 0; i-- {
+			bi := b.Data[i*b.Stride : i*b.Stride+b.Cols]
+			d := t.Data[i*t.Stride+i]
+			for j := range bi {
+				bi[j] *= d
+			}
+			for k := 0; k < i; k++ {
+				lv := t.Data[i*t.Stride+k]
+				if lv == 0 {
+					continue
+				}
+				bk := b.Data[k*b.Stride : k*b.Stride+b.Cols]
+				for j := range bi {
+					bi[j] += lv * bk[j]
+				}
+			}
+		}
+	case side == Left && tri == Upper && !transT:
+		// B := U B. Top-down.
+		for i := 0; i < n; i++ {
+			bi := b.Data[i*b.Stride : i*b.Stride+b.Cols]
+			d := t.Data[i*t.Stride+i]
+			for j := range bi {
+				bi[j] *= d
+			}
+			for k := i + 1; k < n; k++ {
+				uv := t.Data[i*t.Stride+k]
+				if uv == 0 {
+					continue
+				}
+				bk := b.Data[k*b.Stride : k*b.Stride+b.Cols]
+				for j := range bi {
+					bi[j] += uv * bk[j]
+				}
+			}
+		}
+	case side == Right && tri == Lower && !transT:
+		// B := B L. Left-to-right columns.
+		for r := 0; r < b.Rows; r++ {
+			row := b.Data[r*b.Stride : r*b.Stride+n]
+			for j := 0; j < n; j++ {
+				v := row[j] * t.Data[j*t.Stride+j]
+				for k := j + 1; k < n; k++ {
+					v += row[k] * t.Data[k*t.Stride+j]
+				}
+				row[j] = v
+			}
+		}
+	case side == Right && tri == Lower && transT:
+		// B := B Lᵀ — Lᵀ is upper with (Lᵀ)[k][j] = L[j][k];
+		// right-to-left columns.
+		for r := 0; r < b.Rows; r++ {
+			row := b.Data[r*b.Stride : r*b.Stride+n]
+			for j := n - 1; j >= 0; j-- {
+				v := row[j] * t.Data[j*t.Stride+j]
+				for k := 0; k < j; k++ {
+					v += row[k] * t.Data[j*t.Stride+k]
+				}
+				row[j] = v
+			}
+		}
+	case side == Right && tri == Upper && transT:
+		// B := B Uᵀ — Uᵀ is lower with (Uᵀ)[k][j] = U[j][k];
+		// left-to-right columns.
+		for r := 0; r < b.Rows; r++ {
+			row := b.Data[r*b.Stride : r*b.Stride+n]
+			for j := 0; j < n; j++ {
+				v := row[j] * t.Data[j*t.Stride+j]
+				for k := j + 1; k < n; k++ {
+					v += row[k] * t.Data[j*t.Stride+k]
+				}
+				row[j] = v
+			}
+		}
+	case side == Left && tri == Lower && transT:
+		// B := Lᵀ B — Lᵀ upper: top-down rows.
+		for i := 0; i < n; i++ {
+			bi := b.Data[i*b.Stride : i*b.Stride+b.Cols]
+			d := t.Data[i*t.Stride+i]
+			for j := range bi {
+				bi[j] *= d
+			}
+			for k := i + 1; k < n; k++ {
+				lv := t.Data[k*t.Stride+i] // (Lᵀ)[i][k]
+				if lv == 0 {
+					continue
+				}
+				bk := b.Data[k*b.Stride : k*b.Stride+b.Cols]
+				for j := range bi {
+					bi[j] += lv * bk[j]
+				}
+			}
+		}
+	case side == Left && tri == Upper && transT:
+		// B := Uᵀ B — Uᵀ lower: bottom-up rows.
+		for i := n - 1; i >= 0; i-- {
+			bi := b.Data[i*b.Stride : i*b.Stride+b.Cols]
+			d := t.Data[i*t.Stride+i]
+			for j := range bi {
+				bi[j] *= d
+			}
+			for k := 0; k < i; k++ {
+				uv := t.Data[k*t.Stride+i] // (Uᵀ)[i][k]
+				if uv == 0 {
+					continue
+				}
+				bk := b.Data[k*b.Stride : k*b.Stride+b.Cols]
+				for j := range bi {
+					bi[j] += uv * bk[j]
+				}
+			}
+		}
+	default:
+		panic("lin: Trmm variant not implemented")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

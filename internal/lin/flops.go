@@ -1,0 +1,38 @@
+package lin
+
+// Flop-count helpers matching the sequential cost conventions of the
+// paper's §II-A. Distributed algorithms charge these amounts to the
+// simmpi virtual clock alongside the corresponding kernel call, so the
+// measured γ cost is exactly the model's.
+
+// GemmFlops is the cost of an m×k by k×n multiply: 2mnk.
+func GemmFlops(m, n, k int) int64 { return 2 * int64(m) * int64(n) * int64(k) }
+
+// SyrkFlops is the cost of AᵀA for m×n A: mn² (symmetry halves it).
+func SyrkFlops(m, n int) int64 { return int64(m) * int64(n) * int64(n) }
+
+// CholFlops is the cost of an n×n Cholesky factorization: (2/3)n³ per
+// the paper's T_Chol.
+func CholFlops(n int) int64 { return 2 * int64(n) * int64(n) * int64(n) / 3 }
+
+// TriInvFlops is the cost of inverting an n×n triangular matrix: (1/3)n³.
+func TriInvFlops(n int) int64 { return int64(n) * int64(n) * int64(n) / 3 }
+
+// TrsmFlops is the cost of a triangular solve against an m×n right-hand
+// side: mn² multiply-adds counted as 2 each ⇒ m·n².
+func TrsmFlops(m, n int) int64 { return int64(m) * int64(n) * int64(n) }
+
+// AxpyFlops is the cost of C ← aX + Y on m×n operands: 2mn.
+func AxpyFlops(m, n int) int64 { return 2 * int64(m) * int64(n) }
+
+// HouseholderQRFlops is the Householder QR cost the paper normalizes its
+// Gigaflops/s plots by: 2mn² − (2/3)n³.
+func HouseholderQRFlops(m, n int) int64 {
+	return 2*int64(m)*int64(n)*int64(n) - 2*int64(n)*int64(n)*int64(n)/3
+}
+
+// CQR2Flops is the critical-path flop count of all CholeskyQR2 variants
+// per the paper's §IV: 4mn² + (5/3)n³.
+func CQR2Flops(m, n int) int64 {
+	return 4*int64(m)*int64(n)*int64(n) + 5*int64(n)*int64(n)*int64(n)/3
+}

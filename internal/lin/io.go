@@ -1,0 +1,104 @@
+package lin
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Matrix text I/O in a MatrixMarket-inspired dense format:
+//
+//	%%matrix dense
+//	<rows> <cols>
+//	<row 0, space-separated>
+//	...
+//
+// Lines starting with % are comments. The format is self-describing and
+// diff-friendly, which is what a reproduction's artifacts need.
+
+const ioHeader = "%%matrix dense"
+
+// WriteMatrix serializes m to w.
+func WriteMatrix(w io.Writer, m *Matrix) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%s\n%d %d\n", ioHeader, m.Rows, m.Cols); err != nil {
+		return err
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if j > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.FormatFloat(m.Data[i*m.Stride+j], 'g', 17, 64)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadMatrix parses a matrix written by WriteMatrix.
+func ReadMatrix(r io.Reader) (*Matrix, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+
+	line, err := nextContentLine(sc)
+	if err != nil {
+		return nil, fmt.Errorf("lin: reading header: %w", err)
+	}
+	if line != ioHeader {
+		return nil, fmt.Errorf("lin: bad header %q", line)
+	}
+	line, err = nextContentLine(sc)
+	if err != nil {
+		return nil, fmt.Errorf("lin: reading dimensions: %w", err)
+	}
+	var rows, cols int
+	if _, err := fmt.Sscanf(line, "%d %d", &rows, &cols); err != nil {
+		return nil, fmt.Errorf("lin: bad dimensions %q: %w", line, err)
+	}
+	if rows < 0 || cols < 0 {
+		return nil, fmt.Errorf("lin: negative dimensions %dx%d", rows, cols)
+	}
+	m := NewMatrix(rows, cols)
+	for i := 0; i < rows; i++ {
+		line, err = nextContentLine(sc)
+		if err != nil {
+			return nil, fmt.Errorf("lin: reading row %d: %w", i, err)
+		}
+		fields := strings.Fields(line)
+		if len(fields) != cols {
+			return nil, fmt.Errorf("lin: row %d has %d values, want %d", i, len(fields), cols)
+		}
+		for j, f := range fields {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("lin: row %d col %d: %w", i, j, err)
+			}
+			m.Data[i*m.Stride+j] = v
+		}
+	}
+	return m, nil
+}
+
+// nextContentLine returns the next non-empty, non-comment line.
+func nextContentLine(sc *bufio.Scanner) (string, error) {
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || (strings.HasPrefix(line, "%") && line != ioHeader) {
+			continue
+		}
+		return line, nil
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	return "", io.ErrUnexpectedEOF
+}

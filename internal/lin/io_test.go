@@ -1,0 +1,104 @@
+package lin
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatrixIORoundTrip(t *testing.T) {
+	for _, sh := range []struct{ r, c int }{{0, 0}, {1, 1}, {3, 5}, {8, 2}} {
+		m := RandomMatrix(sh.r, sh.c, int64(sh.r*10+sh.c))
+		var buf bytes.Buffer
+		if err := WriteMatrix(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadMatrix(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !back.Equal(m) {
+			t.Fatalf("%dx%d round trip failed", sh.r, sh.c)
+		}
+	}
+}
+
+func TestMatrixIOExactPrecision(t *testing.T) {
+	// The 17-digit format must round-trip doubles bit-exactly,
+	// including awkward values.
+	m := FromSlice(1, 4, []float64{math.Pi, 1.0 / 3.0, 2.2250738585072014e-308, -1e300})
+	var buf bytes.Buffer
+	if err := WriteMatrix(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMatrix(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m.Data {
+		if back.Data[i] != m.Data[i] {
+			t.Fatalf("value %d not bit-exact: %v vs %v", i, back.Data[i], m.Data[i])
+		}
+	}
+}
+
+func TestMatrixIOComments(t *testing.T) {
+	in := "% a comment\n%%matrix dense\n% another\n2 2\n1 2\n3 4\n"
+	m, err := ReadMatrix(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(1, 1) != 4 {
+		t.Fatalf("parsed %v", m)
+	}
+}
+
+func TestMatrixIOErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad header":    "%%wrong\n1 1\n0\n",
+		"bad dims":      "%%matrix dense\nx y\n",
+		"negative dims": "%%matrix dense\n-1 2\n",
+		"short row":     "%%matrix dense\n1 3\n1 2\n",
+		"bad value":     "%%matrix dense\n1 1\nzzz\n",
+		"truncated":     "%%matrix dense\n2 1\n1\n",
+		"empty":         "",
+	}
+	for name, in := range cases {
+		if _, err := ReadMatrix(strings.NewReader(in)); err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+	}
+}
+
+func TestMatrixIOViewsWriteCompactly(t *testing.T) {
+	big := RandomMatrix(6, 6, 9)
+	v := big.View(1, 1, 3, 2)
+	var buf bytes.Buffer
+	if err := WriteMatrix(&buf, v); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMatrix(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.EqualWithin(v.Clone(), 0) {
+		t.Fatal("view round trip failed")
+	}
+}
+
+func TestMatrixIOProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		m := RandomMatrix(4, 3, seed)
+		var buf bytes.Buffer
+		if err := WriteMatrix(&buf, m); err != nil {
+			return false
+		}
+		back, err := ReadMatrix(&buf)
+		return err == nil && back.Equal(m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

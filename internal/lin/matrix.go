@@ -1,0 +1,266 @@
+// Package lin provides the dense linear algebra substrate used by the
+// CA-CQR2 reproduction: a row-major float64 matrix type and the
+// BLAS/LAPACK-style kernels the paper's algorithms depend on (GEMM, SYRK,
+// TRSM, TRMM, Cholesky, triangular inverse, Householder QR, norms, and
+// random matrix generators).
+//
+// Everything is written from scratch on the standard library. Kernels are
+// cache-blocked but make no attempt to compete with tuned BLAS; the
+// reproduction's cost model separates flop counts (which these kernels
+// match exactly) from flop rates (which belong to the machine model).
+package lin
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Matrix is a dense row-major matrix of float64 values.
+//
+// The zero value is an empty 0×0 matrix. Data holds Rows*Cols elements;
+// element (i, j) lives at Data[i*Stride+j]. Stride ≥ Cols allows views
+// into larger matrices without copying.
+type Matrix struct {
+	Rows, Cols int
+	Stride     int
+	Data       []float64
+}
+
+// ErrShape reports incompatible matrix dimensions.
+var ErrShape = errors.New("lin: incompatible matrix shapes")
+
+// ErrNotPositiveDefinite reports a Cholesky failure: a non-positive pivot
+// was encountered, meaning the input is not (numerically) symmetric
+// positive definite.
+var ErrNotPositiveDefinite = errors.New("lin: matrix is not positive definite")
+
+// ErrSingular reports a singular triangular factor.
+var ErrSingular = errors.New("lin: matrix is singular")
+
+// NewMatrix returns a zeroed r×c matrix.
+func NewMatrix(r, c int) *Matrix {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("lin: negative dimensions %dx%d", r, c))
+	}
+	return &Matrix{Rows: r, Cols: c, Stride: c, Data: make([]float64, r*c)}
+}
+
+// FromSlice builds an r×c matrix from row-major data. The slice is copied.
+func FromSlice(r, c int, data []float64) *Matrix {
+	if len(data) != r*c {
+		panic(fmt.Sprintf("lin: FromSlice got %d elements for %dx%d", len(data), r, c))
+	}
+	m := NewMatrix(r, c)
+	copy(m.Data, data)
+	return m
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Data[i*m.Stride+i] = 1
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 {
+	if i < 0 || i >= m.Rows || j < 0 || j >= m.Cols {
+		panic(fmt.Sprintf("lin: At(%d,%d) out of range %dx%d", i, j, m.Rows, m.Cols))
+	}
+	return m.Data[i*m.Stride+j]
+}
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) {
+	if i < 0 || i >= m.Rows || j < 0 || j >= m.Cols {
+		panic(fmt.Sprintf("lin: Set(%d,%d) out of range %dx%d", i, j, m.Rows, m.Cols))
+	}
+	m.Data[i*m.Stride+j] = v
+}
+
+// Clone returns a deep copy with a compact stride.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		copy(out.Data[i*out.Stride:i*out.Stride+m.Cols], m.Data[i*m.Stride:i*m.Stride+m.Cols])
+	}
+	return out
+}
+
+// CopyFrom copies src into m. Shapes must match.
+func (m *Matrix) CopyFrom(src *Matrix) {
+	if m.Rows != src.Rows || m.Cols != src.Cols {
+		panic(ErrShape)
+	}
+	for i := 0; i < m.Rows; i++ {
+		copy(m.Data[i*m.Stride:i*m.Stride+m.Cols], src.Data[i*src.Stride:i*src.Stride+src.Cols])
+	}
+}
+
+// View returns a view of the r×c submatrix whose top-left corner is (i, j).
+// The view shares storage with m.
+func (m *Matrix) View(i, j, r, c int) *Matrix {
+	if i < 0 || j < 0 || r < 0 || c < 0 || i+r > m.Rows || j+c > m.Cols {
+		panic(fmt.Sprintf("lin: View(%d,%d,%d,%d) out of range %dx%d", i, j, r, c, m.Rows, m.Cols))
+	}
+	return &Matrix{Rows: r, Cols: c, Stride: m.Stride, Data: m.Data[i*m.Stride+j:]}
+}
+
+// Zero sets every element to 0.
+func (m *Matrix) Zero() {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Stride : i*m.Stride+m.Cols]
+		for j := range row {
+			row[j] = 0
+		}
+	}
+}
+
+// T returns a newly allocated transpose of m.
+func (m *Matrix) T() *Matrix {
+	out := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Data[j*out.Stride+i] = m.Data[i*m.Stride+j]
+		}
+	}
+	return out
+}
+
+// Equal reports whether m and n have the same shape and elements.
+func (m *Matrix) Equal(n *Matrix) bool {
+	if m.Rows != n.Rows || m.Cols != n.Cols {
+		return false
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if m.Data[i*m.Stride+j] != n.Data[i*n.Stride+j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// EqualWithin reports whether m and n agree elementwise within tol.
+func (m *Matrix) EqualWithin(n *Matrix, tol float64) bool {
+	if m.Rows != n.Rows || m.Cols != n.Cols {
+		return false
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if math.Abs(m.Data[i*m.Stride+j]-n.Data[i*n.Stride+j]) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Add computes m += x.
+func (m *Matrix) Add(x *Matrix) {
+	if m.Rows != x.Rows || m.Cols != x.Cols {
+		panic(ErrShape)
+	}
+	for i := 0; i < m.Rows; i++ {
+		mi := m.Data[i*m.Stride : i*m.Stride+m.Cols]
+		xi := x.Data[i*x.Stride : i*x.Stride+x.Cols]
+		for j := range mi {
+			mi[j] += xi[j]
+		}
+	}
+}
+
+// Sub computes m -= x.
+func (m *Matrix) Sub(x *Matrix) {
+	if m.Rows != x.Rows || m.Cols != x.Cols {
+		panic(ErrShape)
+	}
+	for i := 0; i < m.Rows; i++ {
+		mi := m.Data[i*m.Stride : i*m.Stride+m.Cols]
+		xi := x.Data[i*x.Stride : i*x.Stride+x.Cols]
+		for j := range mi {
+			mi[j] -= xi[j]
+		}
+	}
+}
+
+// Scale computes m *= a.
+func (m *Matrix) Scale(a float64) {
+	for i := 0; i < m.Rows; i++ {
+		mi := m.Data[i*m.Stride : i*m.Stride+m.Cols]
+		for j := range mi {
+			mi[j] *= a
+		}
+	}
+}
+
+// Axpy computes m += a*x (the paper's axpy building block, 2mn flops).
+func (m *Matrix) Axpy(a float64, x *Matrix) {
+	if m.Rows != x.Rows || m.Cols != x.Cols {
+		panic(ErrShape)
+	}
+	for i := 0; i < m.Rows; i++ {
+		mi := m.Data[i*m.Stride : i*m.Stride+m.Cols]
+		xi := x.Data[i*x.Stride : i*x.Stride+x.Cols]
+		for j := range mi {
+			mi[j] += a * xi[j]
+		}
+	}
+}
+
+// IsUpperTriangular reports whether every element strictly below the
+// diagonal is at most tol in magnitude.
+func (m *Matrix) IsUpperTriangular(tol float64) bool {
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < i && j < m.Cols; j++ {
+			if math.Abs(m.Data[i*m.Stride+j]) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsLowerTriangular reports whether every element strictly above the
+// diagonal is at most tol in magnitude.
+func (m *Matrix) IsLowerTriangular(tol float64) bool {
+	for i := 0; i < m.Rows; i++ {
+		for j := i + 1; j < m.Cols; j++ {
+			if math.Abs(m.Data[i*m.Stride+j]) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders the matrix for debugging; large matrices are elided.
+func (m *Matrix) String() string {
+	const maxDim = 8
+	var b strings.Builder
+	fmt.Fprintf(&b, "%dx%d[", m.Rows, m.Cols)
+	for i := 0; i < m.Rows && i < maxDim; i++ {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		for j := 0; j < m.Cols && j < maxDim; j++ {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%.4g", m.Data[i*m.Stride+j])
+		}
+		if m.Cols > maxDim {
+			b.WriteString(" ...")
+		}
+	}
+	if m.Rows > maxDim {
+		b.WriteString("; ...")
+	}
+	b.WriteByte(']')
+	return b.String()
+}

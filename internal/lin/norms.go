@@ -1,0 +1,115 @@
+package lin
+
+import "math"
+
+// Norms and error metrics used by the correctness tests and the accuracy
+// experiments (orthogonality loss ‖QᵀQ−I‖ and residual ‖A−QR‖ as
+// functions of κ(A), per the paper's §I stability discussion).
+
+// FrobeniusNorm returns ‖M‖_F.
+func FrobeniusNorm(m *Matrix) float64 {
+	var s float64
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Stride : i*m.Stride+m.Cols]
+		for _, v := range row {
+			s += v * v
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// MaxAbs returns max |m_ij|.
+func MaxAbs(m *Matrix) float64 {
+	var s float64
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Stride : i*m.Stride+m.Cols]
+		for _, v := range row {
+			if a := math.Abs(v); a > s {
+				s = a
+			}
+		}
+	}
+	return s
+}
+
+// OrthogonalityError returns ‖QᵀQ − I‖_F, the forward-error metric the
+// CholeskyQR2 literature uses (Θ(κ²ε) for one CholeskyQR pass, O(ε) after
+// the second pass when κ(A) ≲ ε^{-1/2}).
+func OrthogonalityError(q *Matrix) float64 {
+	g := SyrkNew(q)
+	for i := 0; i < g.Rows; i++ {
+		g.Data[i*g.Stride+i] -= 1
+	}
+	return FrobeniusNorm(g)
+}
+
+// ResidualNorm returns ‖A − Q·R‖_F / ‖A‖_F, the backward-error metric
+// (CholeskyQR is backward stable, so this stays O(ε) even when
+// orthogonality degrades).
+func ResidualNorm(a, q, r *Matrix) float64 {
+	qr := MatMul(q, r)
+	qr.Sub(a)
+	na := FrobeniusNorm(a)
+	if na == 0 {
+		return FrobeniusNorm(qr)
+	}
+	return FrobeniusNorm(qr) / na
+}
+
+// TwoNormCond estimates the 2-norm condition number κ₂(A) = σ_max/σ_min
+// by power iteration on AᵀA and inverse iteration via the R factor of a
+// Householder QR. Adequate for validating the conditioned-matrix
+// generator; not a general-purpose SVD.
+func TwoNormCond(a *Matrix) float64 {
+	g := SyrkNew(a) // AᵀA, spectrum = squared singular values
+	n := g.Rows
+	if n == 0 {
+		return 0
+	}
+	smax := math.Sqrt(powerIterate(g, 200))
+	// σ_min via power iteration on (AᵀA)⁻¹ using the Cholesky factor.
+	l, err := Cholesky(g)
+	if err != nil {
+		return math.Inf(1)
+	}
+	// (AᵀA)⁻¹ x = L⁻ᵀ L⁻¹ x.
+	x := onesVector(n)
+	var lam float64
+	for it := 0; it < 200; it++ {
+		Trsm(Left, Lower, false, l, x)
+		Trsm(Left, Lower, true, l, x)
+		lam = FrobeniusNorm(x)
+		if lam == 0 {
+			return math.Inf(1)
+		}
+		x.Scale(1 / lam)
+	}
+	smin := math.Sqrt(1 / lam)
+	return smax / smin
+}
+
+func powerIterate(g *Matrix, iters int) float64 {
+	n := g.Rows
+	x := onesVector(n)
+	y := NewMatrix(n, 1)
+	var lam float64
+	for it := 0; it < iters; it++ {
+		Gemm(false, false, 1, g, x, 0, y)
+		lam = FrobeniusNorm(y)
+		if lam == 0 {
+			return 0
+		}
+		y.Scale(1 / lam)
+		x, y = y, x
+	}
+	return lam
+}
+
+func onesVector(n int) *Matrix {
+	x := NewMatrix(n, 1)
+	for i := range x.Data {
+		x.Data[i] = 1
+	}
+	x.Scale(1 / math.Sqrt(float64(n)))
+	return x
+}

@@ -1,0 +1,64 @@
+package lin
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Shared-memory parallel kernels. The distributed algorithms charge flops
+// to the simulated machine model and do not need wall-clock speed, but a
+// production library should still use the host's cores for large local
+// multiplies: GemmParallel partitions the output rows across goroutines,
+// each running the serial blocked kernel on disjoint views, so results
+// are bitwise identical to the serial Gemm.
+
+// GemmParallel computes C = beta*C + alpha*op(A)*op(B) using up to
+// workers goroutines (0 = GOMAXPROCS). Falls back to the serial kernel
+// for small outputs where goroutine overhead dominates.
+func GemmParallel(workers int, transA, transB bool, alpha float64, a, b *Matrix, beta float64, c *Matrix) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	const minRowsPerWorker = 64
+	if workers == 1 || c.Rows < 2*minRowsPerWorker {
+		Gemm(transA, transB, alpha, a, b, 0+beta, c)
+		return
+	}
+	if c.Rows/minRowsPerWorker < workers {
+		workers = c.Rows / minRowsPerWorker
+	}
+
+	var wg sync.WaitGroup
+	chunk := (c.Rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		r0 := w * chunk
+		if r0 >= c.Rows {
+			break
+		}
+		rows := chunk
+		if r0+rows > c.Rows {
+			rows = c.Rows - r0
+		}
+		wg.Add(1)
+		go func(r0, rows int) {
+			defer wg.Done()
+			var aView *Matrix
+			if transA {
+				// Rows of op(A) are columns of A.
+				aView = a.View(0, r0, a.Rows, rows)
+			} else {
+				aView = a.View(r0, 0, rows, a.Cols)
+			}
+			cView := c.View(r0, 0, rows, c.Cols)
+			Gemm(transA, transB, alpha, aView, b, beta, cView)
+		}(r0, rows)
+	}
+	wg.Wait()
+}
+
+// MatMulParallel returns A·B computed with GemmParallel.
+func MatMulParallel(workers int, a, b *Matrix) *Matrix {
+	c := NewMatrix(a.Rows, b.Cols)
+	GemmParallel(workers, false, false, 1, a, b, 0, c)
+	return c
+}

@@ -1,0 +1,73 @@
+package lin
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGemmParallelMatchesSerial(t *testing.T) {
+	for _, sh := range []struct{ m, k, n int }{
+		{16, 16, 16},    // below the parallel threshold
+		{200, 64, 48},   // parallel path
+		{300, 32, 300},  // wide output
+		{129, 129, 129}, // odd sizes
+	} {
+		for _, ta := range []bool{false, true} {
+			for _, tb := range []bool{false, true} {
+				ar, ac := sh.m, sh.k
+				if ta {
+					ar, ac = ac, ar
+				}
+				br, bc := sh.k, sh.n
+				if tb {
+					br, bc = bc, br
+				}
+				a := RandomMatrix(ar, ac, 31)
+				b := RandomMatrix(br, bc, 32)
+				want := NewMatrix(sh.m, sh.n)
+				Gemm(ta, tb, 1.5, a, b, 0, want)
+				got := NewMatrix(sh.m, sh.n)
+				GemmParallel(4, ta, tb, 1.5, a, b, 0, got)
+				if !got.Equal(want) {
+					t.Fatalf("parallel Gemm(%v,%v) %dx%dx%d differs from serial", ta, tb, sh.m, sh.k, sh.n)
+				}
+			}
+		}
+	}
+}
+
+func TestGemmParallelBeta(t *testing.T) {
+	a := RandomMatrix(256, 32, 33)
+	b := RandomMatrix(32, 64, 34)
+	c0 := RandomMatrix(256, 64, 35)
+	want := c0.Clone()
+	Gemm(false, false, 2, a, b, 0.5, want)
+	got := c0.Clone()
+	GemmParallel(3, false, false, 2, a, b, 0.5, got)
+	if !got.Equal(want) {
+		t.Fatal("parallel beta accumulation differs from serial")
+	}
+}
+
+func TestGemmParallelWorkerCounts(t *testing.T) {
+	a := RandomMatrix(256, 40, 36)
+	b := RandomMatrix(40, 30, 37)
+	want := MatMul(a, b)
+	for _, w := range []int{0, 1, 2, 7, 64} {
+		got := MatMulParallel(w, a, b)
+		if !got.Equal(want) {
+			t.Fatalf("workers=%d differs", w)
+		}
+	}
+}
+
+func TestGemmParallelProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		a := RandomMatrix(180, 20, seed)
+		b := RandomMatrix(20, 25, seed+1)
+		return MatMulParallel(4, a, b).Equal(MatMul(a, b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

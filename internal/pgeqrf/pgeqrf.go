@@ -1,0 +1,477 @@
+// Package pgeqrf is the evaluation baseline: a ScaLAPACK-PGEQRF-style 2D
+// parallel Householder QR factorization. It reproduces the communication
+// pattern whose cost the paper compares CA-CQR2 against — per panel, a
+// sequence of column-communicator allreduces during the panel
+// factorization, a row-communicator broadcast of the reflector panel, and
+// a column-communicator allreduce in the compact-WY trailing update —
+// and performs the classic 2mn² − (2/3)n³ Householder flops.
+//
+// Layout: the m×n matrix lives on a pr × pc process grid with
+// element-cyclic rows (global row i on process row i mod pr) and
+// block-cyclic columns of width nb (panel k on process column k mod pc),
+// i.e. a ScaLAPACK (MB=1, NB=nb) distribution.
+package pgeqrf
+
+import (
+	"fmt"
+	"math"
+
+	"cacqr/internal/lin"
+	"cacqr/internal/simmpi"
+)
+
+// Grid is a pr × pc process grid for the 2D algorithm. Ranks linearize
+// as prow + pr·pcol.
+type Grid struct {
+	PR, PC   int
+	Row, Col int
+	World    *simmpi.Comm // all pr·pc members
+	ColComm  *simmpi.Comm // fixed pcol, varying prow (size pr); index = prow
+	RowComm  *simmpi.Comm // fixed prow, varying pcol (size pc); index = pcol
+	proc     *simmpi.Proc
+}
+
+// NewGrid builds the process grid over the first pr·pc members of comm;
+// members beyond that receive nil.
+func NewGrid(comm *simmpi.Comm, pr, pc int) (*Grid, error) {
+	if pr < 1 || pc < 1 {
+		return nil, fmt.Errorf("pgeqrf: invalid grid %dx%d", pr, pc)
+	}
+	if comm.Size() < pr*pc {
+		return nil, fmt.Errorf("pgeqrf: need %d ranks, have %d", pr*pc, comm.Size())
+	}
+	rank := comm.Index()
+	g := &Grid{PR: pr, PC: pc, Row: rank % pr, Col: rank / pr, proc: comm.Proc()}
+
+	all := make([]int, pr*pc)
+	for i := range all {
+		all[i] = i
+	}
+	if w := comm.Subgroup(all); w != nil {
+		g.World = w
+	}
+	for pcol := 0; pcol < pc; pcol++ {
+		idx := make([]int, pr)
+		for prow := 0; prow < pr; prow++ {
+			idx[prow] = prow + pr*pcol
+		}
+		if cm := comm.Subgroup(idx); cm != nil {
+			g.ColComm = cm
+		}
+	}
+	for prow := 0; prow < pr; prow++ {
+		idx := make([]int, pc)
+		for pcol := 0; pcol < pc; pcol++ {
+			idx[pcol] = prow + pr*pcol
+		}
+		if cm := comm.Subgroup(idx); cm != nil {
+			g.RowComm = cm
+		}
+	}
+	if rank >= pr*pc {
+		return nil, nil
+	}
+	return g, nil
+}
+
+// Matrix is one process's piece of the (MB=1, NB=nb) distributed matrix:
+// local rows are the global rows ≡ Row (mod PR); local column groups are
+// the width-nb panels ≡ Col (mod PC), stored panel-contiguous.
+type Matrix struct {
+	G      *Grid
+	M, N   int
+	NB     int
+	Panels []int // global panel indices owned, ascending
+	Local  *lin.Matrix
+}
+
+// NewMatrix distributes an m×n global matrix (replicated input) over the
+// grid. Requires pr | m and nb | n.
+func NewMatrix(g *Grid, global *lin.Matrix, nb int) (*Matrix, error) {
+	m, n := global.Rows, global.Cols
+	if m%g.PR != 0 {
+		return nil, fmt.Errorf("pgeqrf: m=%d not divisible by pr=%d", m, g.PR)
+	}
+	if nb < 1 || n%nb != 0 {
+		return nil, fmt.Errorf("pgeqrf: block size %d does not divide n=%d", nb, n)
+	}
+	np := n / nb
+	var panels []int
+	for k := g.Col; k < np; k += g.PC {
+		panels = append(panels, k)
+	}
+	mloc := m / g.PR
+	loc := lin.NewMatrix(mloc, len(panels)*nb)
+	for s, k := range panels {
+		for li := 0; li < mloc; li++ {
+			gi := li*g.PR + g.Row
+			for jj := 0; jj < nb; jj++ {
+				loc.Set(li, s*nb+jj, global.At(gi, k*nb+jj))
+			}
+		}
+	}
+	return &Matrix{G: g, M: m, N: n, NB: nb, Panels: panels, Local: loc}, nil
+}
+
+// localSlot returns the local panel slot of global panel k, or -1.
+func (a *Matrix) localSlot(k int) int {
+	if k%a.G.PC != a.G.Col {
+		return -1
+	}
+	s := (k - a.G.Col) / a.G.PC
+	if s >= len(a.Panels) {
+		return -1
+	}
+	return s
+}
+
+// Factors holds the distributed factored form: R in place of the upper
+// triangle and the Householder panel data needed to apply Q.
+type Factors struct {
+	A    *Matrix
+	Taus []float64 // n reflector coefficients, replicated
+	// panels holds, per panel k, the active rows of the broadcast V
+	// (rows at/below the panel's top, this rank's share) and the
+	// compact-WY T factor — what ApplyQT needs.
+	panels []storedPanel
+}
+
+// storedPanel is the per-rank remnant of one factored panel.
+type storedPanel struct {
+	vAct *lin.Matrix // (mloc − li0) × nb active reflector rows
+	t    *lin.Matrix // nb × nb upper-triangular T
+	li0  int         // first active local row
+}
+
+// Factor computes the QR factorization in place (the PGEQRF analog).
+func Factor(a *Matrix) (*Factors, error) {
+	g := a.G
+	p := g.proc
+	m, n, nb := a.M, a.N, a.NB
+	if m < n {
+		return nil, fmt.Errorf("pgeqrf: requires m ≥ n, got %dx%d", m, n)
+	}
+	mloc := a.Local.Rows
+	np := n / nb
+	taus := make([]float64, n)
+	panels := make([]storedPanel, 0, np)
+
+	for k := 0; k < np; k++ {
+		owner := k % g.PC
+		j0 := k * nb
+
+		// Panel V: full local height, nb columns (zeros above the
+		// global diagonal); replicated row-wise after the broadcast.
+		var v *lin.Matrix
+		var t *lin.Matrix // upper-triangular T of the compact WY form
+		panelTaus := make([]float64, nb)
+
+		if g.Col == owner {
+			slot := a.localSlot(k)
+			if slot < 0 {
+				return nil, fmt.Errorf("pgeqrf: internal panel ownership error")
+			}
+			pan := a.Local.View(0, slot*nb, mloc, nb)
+			v = lin.NewMatrix(mloc, nb)
+			for jj := 0; jj < nb; jj++ {
+				jg := j0 + jj // global pivot row/column
+				// Partial squared norm below the diagonal and pivot
+				// element, combined in one allreduce.
+				li0 := firstLocalRow(jg+1, g.Row, g.PR)
+				var sigma float64
+				for li := li0; li < mloc; li++ {
+					x := pan.At(li, jj)
+					sigma += x * x
+				}
+				buf := []float64{sigma, 0}
+				pivotOwner := jg % g.PR
+				var pivLi int
+				if g.Row == pivotOwner {
+					pivLi = jg / g.PR
+					buf[1] = pan.At(pivLi, jj)
+				}
+				red, err := g.ColComm.Allreduce(buf)
+				if err != nil {
+					return nil, err
+				}
+				sigma, x0 := red[0], red[1]
+
+				var tau, beta float64
+				if sigma == 0 {
+					tau, beta = 0, x0
+				} else {
+					beta = -math.Copysign(math.Sqrt(x0*x0+sigma), x0)
+					tau = (beta - x0) / beta
+				}
+				taus[jg] = tau
+				panelTaus[jj] = tau
+
+				// Form v (unit at the pivot) and zero the column below
+				// the diagonal; the pivot position receives beta.
+				scale := x0 - beta
+				for li := li0; li < mloc; li++ {
+					if tau != 0 {
+						v.Set(li, jj, pan.At(li, jj)/scale)
+					}
+					pan.Set(li, jj, 0)
+				}
+				if g.Row == pivotOwner {
+					v.Set(pivLi, jj, 1)
+					pan.Set(pivLi, jj, beta)
+				}
+				if err := p.Compute(int64(3 * (mloc - li0))); err != nil {
+					return nil, err
+				}
+
+				// Apply the reflector to the remaining panel columns:
+				// w = vᵀ·pan[:, jj+1:], allreduced over the column comm.
+				rest := nb - jj - 1
+				if rest > 0 && tau != 0 {
+					w := make([]float64, rest)
+					for li := li0; li < mloc; li++ {
+						vi := v.At(li, jj)
+						if vi == 0 {
+							continue
+						}
+						for cc := 0; cc < rest; cc++ {
+							w[cc] += vi * pan.At(li, jj+1+cc)
+						}
+					}
+					if g.Row == pivotOwner {
+						for cc := 0; cc < rest; cc++ {
+							w[cc] += pan.At(pivLi, jj+1+cc)
+						}
+					}
+					wr, err := g.ColComm.Allreduce(w)
+					if err != nil {
+						return nil, err
+					}
+					for li := li0; li < mloc; li++ {
+						vi := v.At(li, jj)
+						if vi == 0 {
+							continue
+						}
+						for cc := 0; cc < rest; cc++ {
+							pan.Set(li, jj+1+cc, pan.At(li, jj+1+cc)-tau*vi*wr[cc])
+						}
+					}
+					if g.Row == pivotOwner {
+						for cc := 0; cc < rest; cc++ {
+							pan.Set(pivLi, jj+1+cc, pan.At(pivLi, jj+1+cc)-tau*wr[cc])
+						}
+					}
+					if err := p.Compute(int64(4 * (mloc - li0 + 1) * rest)); err != nil {
+						return nil, err
+					}
+				}
+			}
+
+			// Form T from the allreduced Gram matrix of V (PDLARFT).
+			li0p := firstLocalRow(j0, g.Row, g.PR)
+			vAct := v.View(li0p, 0, mloc-li0p, nb)
+			gram := lin.NewMatrix(nb, nb)
+			lin.Gemm(true, false, 1, vAct, vAct, 0, gram)
+			if err := p.Compute(lin.GemmFlops(nb, nb, vAct.Rows)); err != nil {
+				return nil, err
+			}
+			gFlat, err := g.ColComm.Allreduce(flatten(gram))
+			if err != nil {
+				return nil, err
+			}
+			gramAll := lin.FromSlice(nb, nb, gFlat)
+			t = formT(gramAll, panelTaus)
+		} else {
+			// Non-owner columns participate in nothing during the panel
+			// factorization (their column comm is a different group).
+		}
+
+		// Broadcast only the active part of V (rows at or below the
+		// panel's top row — entries above are zero) plus T and the
+		// taus along the row communicator. All members of a process
+		// row share the same active height.
+		li0k := firstLocalRow(j0, g.Row, g.PR)
+		var payload []float64
+		if v != nil {
+			payload = packPanel(v.View(li0k, 0, mloc-li0k, nb), t, panelTaus, nb)
+		}
+		got, err := g.RowComm.Bcast(owner, payload)
+		if err != nil {
+			return nil, err
+		}
+		vAct, tGot, panelTaus := unpackPanel(got, mloc-li0k, nb)
+		t = tGot
+		copy(taus[j0:j0+nb], panelTaus)
+		panels = append(panels, storedPanel{vAct: vAct, t: t, li0: li0k})
+
+		// Trailing update on locally owned panels to the right, over
+		// the active rows only:
+		// C ← (I − V·T·Vᵀ)·C via W = Tᵀ·(Vᵀ·C), C ← C − V·W.
+		var cols []int
+		for _, kk := range a.Panels {
+			if kk > k {
+				cols = append(cols, kk)
+			}
+		}
+		if len(cols) > 0 {
+			width := len(cols) * nb
+			rows := mloc - li0k
+			c := trailingView(a, cols)
+			cAct := c.View(li0k, 0, rows, width)
+			w := lin.NewMatrix(nb, width)
+			lin.Gemm(true, false, 1, vAct, cAct, 0, w)
+			if err := p.Compute(lin.GemmFlops(nb, width, rows)); err != nil {
+				return nil, err
+			}
+			wFlat, err := g.ColComm.Allreduce(flatten(w))
+			if err != nil {
+				return nil, err
+			}
+			wAll := lin.FromSlice(nb, width, wFlat)
+			tw := lin.NewMatrix(nb, width)
+			lin.Gemm(true, false, 1, t, wAll, 0, tw)
+			lin.Gemm(false, false, -1, vAct, tw, 1, cAct)
+			if err := p.Compute(lin.GemmFlops(nb, width, nb) + lin.GemmFlops(rows, width, nb)); err != nil {
+				return nil, err
+			}
+			writeTrailing(a, cols, c)
+		}
+	}
+	return &Factors{A: a, Taus: taus, panels: panels}, nil
+}
+
+// ApplyQT applies Qᵀ to a right-hand side distributed like A's rows: each
+// rank passes its m/pr × nrhs block of B (element-cyclic rows) and
+// receives the same block of Qᵀ·B. This is PDORMQR's pattern: per panel,
+// W = Tᵀ·(VᵀB) with a column-communicator allreduce, then B −= V·W —
+// and it is how least-squares solves use the factored form.
+func (f *Factors) ApplyQT(b *lin.Matrix) (*lin.Matrix, error) {
+	a := f.A
+	g := a.G
+	if b.Rows != a.Local.Rows {
+		return nil, fmt.Errorf("pgeqrf: rhs has %d local rows, want %d", b.Rows, a.Local.Rows)
+	}
+	out := b.Clone()
+	for _, pan := range f.panels {
+		rows := pan.vAct.Rows
+		if rows == 0 {
+			continue
+		}
+		nb := pan.vAct.Cols
+		act := out.View(pan.li0, 0, rows, out.Cols)
+		w := lin.NewMatrix(nb, out.Cols)
+		lin.Gemm(true, false, 1, pan.vAct, act, 0, w)
+		if err := g.proc.Compute(lin.GemmFlops(nb, out.Cols, rows)); err != nil {
+			return nil, err
+		}
+		wFlat, err := g.ColComm.Allreduce(flatten(w))
+		if err != nil {
+			return nil, err
+		}
+		wAll := lin.FromSlice(nb, out.Cols, wFlat)
+		tw := lin.NewMatrix(nb, out.Cols)
+		lin.Gemm(true, false, 1, pan.t, wAll, 0, tw)
+		lin.Gemm(false, false, -1, pan.vAct, tw, 1, act)
+		if err := g.proc.Compute(lin.GemmFlops(nb, out.Cols, nb) + lin.GemmFlops(rows, out.Cols, nb)); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// GatherR assembles the n×n upper-triangular factor on every rank by a
+// world allreduce of each process's contributions (a test/output path,
+// not part of the timed algorithm).
+func (f *Factors) GatherR() (*lin.Matrix, error) {
+	a := f.A
+	g := a.G
+	n, nb := a.N, a.NB
+	r := lin.NewMatrix(n, n)
+	for s, k := range a.Panels {
+		for jj := 0; jj < nb; jj++ {
+			gj := k*nb + jj
+			for li := 0; li < a.Local.Rows; li++ {
+				gi := li*g.PR + g.Row
+				if gi <= gj && gi < n {
+					r.Set(gi, gj, a.Local.At(li, s*nb+jj))
+				}
+			}
+		}
+	}
+	flat, err := g.World.Allreduce(flatten(r))
+	if err != nil {
+		return nil, err
+	}
+	return lin.FromSlice(n, n, flat), nil
+}
+
+// firstLocalRow returns the first local row index whose global row ≥ g0.
+func firstLocalRow(g0, row, pr int) int {
+	if g0 <= row {
+		return 0
+	}
+	return (g0 - row + pr - 1) / pr
+}
+
+// formT builds the nb×nb upper-triangular compact-WY factor from the
+// full Gram matrix G = VᵀV and the taus: T[j][j] = tau_j,
+// T[0:j, j] = −tau_j · T[0:j, 0:j] · G[0:j, j].
+func formT(gram *lin.Matrix, taus []float64) *lin.Matrix {
+	nb := len(taus)
+	t := lin.NewMatrix(nb, nb)
+	for j := 0; j < nb; j++ {
+		t.Set(j, j, taus[j])
+		for i := 0; i < j; i++ {
+			var s float64
+			for k := i; k < j; k++ {
+				s += t.At(i, k) * gram.At(k, j)
+			}
+			t.Set(i, j, -taus[j]*s)
+		}
+	}
+	return t
+}
+
+func flatten(m *lin.Matrix) []float64 {
+	out := make([]float64, m.Rows*m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		copy(out[i*m.Cols:(i+1)*m.Cols], m.Data[i*m.Stride:i*m.Stride+m.Cols])
+	}
+	return out
+}
+
+func packPanel(vAct, t *lin.Matrix, taus []float64, nb int) []float64 {
+	out := make([]float64, 0, vAct.Rows*nb+nb*nb+nb)
+	out = append(out, flatten(vAct)...)
+	out = append(out, flatten(t)...)
+	out = append(out, taus...)
+	return out
+}
+
+// unpackPanel splits a broadcast payload into the active rows of V, the
+// T factor, and the taus.
+func unpackPanel(data []float64, rows, nb int) (vAct, t *lin.Matrix, taus []float64) {
+	vAct = lin.FromSlice(rows, nb, data[:rows*nb])
+	t = lin.FromSlice(nb, nb, data[rows*nb:rows*nb+nb*nb])
+	taus = append([]float64(nil), data[rows*nb+nb*nb:]...)
+	return vAct, t, taus
+}
+
+// trailingView copies the locally owned trailing panels into one dense
+// working matrix (columns ordered by ascending global panel).
+func trailingView(a *Matrix, cols []int) *lin.Matrix {
+	nb := a.NB
+	c := lin.NewMatrix(a.Local.Rows, len(cols)*nb)
+	for i, k := range cols {
+		s := a.localSlot(k)
+		c.View(0, i*nb, c.Rows, nb).CopyFrom(a.Local.View(0, s*nb, c.Rows, nb))
+	}
+	return c
+}
+
+func writeTrailing(a *Matrix, cols []int, c *lin.Matrix) {
+	nb := a.NB
+	for i, k := range cols {
+		s := a.localSlot(k)
+		a.Local.View(0, s*nb, c.Rows, nb).CopyFrom(c.View(0, i*nb, c.Rows, nb))
+	}
+}

@@ -1,0 +1,356 @@
+// Package simmpi is the MPI substitute for the CA-CQR2 reproduction: a
+// message-passing runtime in which every rank is a goroutine, point-to-point
+// messages are matched by (communicator, source, tag), and collectives use
+// the butterfly schedules the paper's §II-B cost analysis assumes.
+//
+// Each rank carries a virtual clock in the α-β-γ model. Local computation
+// advances the clock by flops·γ; every message hop advances both endpoints
+// by α + words·β, and a receiver can never complete a receive before the
+// sender started the matching send. The maximum clock over all ranks at the
+// end of a run is the critical-path execution time — precisely the quantity
+// the paper's cost analysis bounds — while raw counters (messages, words,
+// flops, per rank) let tests check the per-line cost tables.
+package simmpi
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// CostParams are the α-β-γ machine parameters used by the virtual clock.
+// Alpha is seconds per message, Beta seconds per 8-byte word, Gamma seconds
+// per floating point operation.
+type CostParams struct {
+	Alpha float64
+	Beta  float64
+	Gamma float64
+}
+
+// DefaultCost is a generic machine with α ≫ β ≫ γ, reflecting the paper's
+// assumption about current architectures.
+var DefaultCost = CostParams{Alpha: 1e-6, Beta: 1e-9, Gamma: 1e-11}
+
+// Options configure a run.
+type Options struct {
+	// Cost sets the virtual-clock machine parameters. Zero value means
+	// DefaultCost.
+	Cost CostParams
+	// Timeout aborts the run if wall-clock time exceeds it (guards tests
+	// against deadlock). Zero means no watchdog.
+	Timeout time.Duration
+	// FailRank, when FailEnabled, makes rank FailRank return an injected
+	// error the first time it calls Compute, exercising abort paths.
+	FailEnabled bool
+	FailRank    int
+}
+
+// ErrAborted is returned by communication calls on surviving ranks after
+// another rank has failed.
+var ErrAborted = errors.New("simmpi: run aborted")
+
+// ErrTimeout is returned when the watchdog fires before all ranks finish.
+var ErrTimeout = errors.New("simmpi: watchdog timeout (likely deadlock)")
+
+// ErrInjectedFailure is the error produced by Options.FailEnabled.
+var ErrInjectedFailure = errors.New("simmpi: injected rank failure")
+
+// Stats summarizes a completed run.
+type Stats struct {
+	// Time is the critical-path virtual time: the maximum rank clock.
+	Time float64
+	// MaxMsgs, MaxWords, MaxFlops are per-rank maxima — the per-processor
+	// α, β and γ cost measures used throughout the paper.
+	MaxMsgs  int64
+	MaxWords int64
+	MaxFlops int64
+	// TotalMsgs, TotalWords, TotalFlops aggregate over all ranks.
+	TotalMsgs  int64
+	TotalWords int64
+	TotalFlops int64
+	// PerRank holds the final counters of every rank.
+	PerRank []Counters
+	// Phases holds per-phase per-rank maxima for charges made under
+	// Proc.SetPhase labels (empty when no phases were set).
+	Phases map[string]Counters
+}
+
+// Counters are one rank's accumulated cost measures.
+type Counters struct {
+	Msgs  int64
+	Words int64
+	Flops int64
+	Time  float64
+}
+
+// message is an in-flight point-to-point payload.
+type message struct {
+	commID    int
+	src       int // global rank
+	tag       int
+	data      []float64
+	sendStart float64 // sender's clock when the send began
+}
+
+// mailbox is one rank's incoming message queue with condition-variable
+// matching.
+type mailbox struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []message
+	aborted bool
+}
+
+// runtime is the shared state of one Run invocation.
+type rt struct {
+	p     int
+	cost  CostParams
+	boxes []*mailbox
+	reg   commRegistry
+
+	abortOnce sync.Once
+	abortErr  error
+}
+
+func (r *rt) abort(err error) {
+	r.abortOnce.Do(func() {
+		r.abortErr = err
+		for _, b := range r.boxes {
+			b.mu.Lock()
+			b.aborted = true
+			b.cond.Broadcast()
+			b.mu.Unlock()
+		}
+	})
+}
+
+// Proc is the handle a rank's body uses for all communication and cost
+// accounting. It is not safe for concurrent use by multiple goroutines.
+type Proc struct {
+	rank int
+	rt   *rt
+
+	clock    float64
+	msgs     int64
+	words    int64
+	flops    int64
+	failArm  bool
+	world    *Comm
+	failErr  error
+	finished bool
+
+	phase  string
+	phases map[string]Counters
+}
+
+// SetPhase labels subsequent cost charges with a phase name (e.g. an
+// algorithm line number) and returns the previous label so callers can
+// restore it. Per-phase counters appear in Stats.Phases, letting tests
+// compare measured per-line costs against the model's per-line tables.
+// An empty label disables phase accounting for the following charges.
+func (p *Proc) SetPhase(label string) (prev string) {
+	prev = p.phase
+	p.phase = label
+	return prev
+}
+
+// chargePhase accumulates a charge into the current phase, if any.
+func (p *Proc) chargePhase(msgs, words, flops int64) {
+	if p.phase == "" {
+		return
+	}
+	if p.phases == nil {
+		p.phases = make(map[string]Counters)
+	}
+	c := p.phases[p.phase]
+	c.Msgs += msgs
+	c.Words += words
+	c.Flops += flops
+	p.phases[p.phase] = c
+}
+
+// Rank returns this process's global rank in [0, P).
+func (p *Proc) Rank() int { return p.rank }
+
+// Size returns the total number of ranks in the run.
+func (p *Proc) Size() int { return p.rt.p }
+
+// World returns the communicator containing every rank.
+func (p *Proc) World() *Comm { return p.world }
+
+// Clock returns the rank's current virtual time in seconds.
+func (p *Proc) Clock() float64 { return p.clock }
+
+// Counters returns a snapshot of the rank's cost counters.
+func (p *Proc) Counters() Counters {
+	return Counters{Msgs: p.msgs, Words: p.words, Flops: p.flops, Time: p.clock}
+}
+
+// ChargeComm charges communication cost to the virtual clock and the
+// per-rank counters: alphaUnits message latencies and words words moved.
+// Collectives use it to charge exactly the butterfly-schedule formulas of
+// the paper's §II-B, so the Msgs and Words counters are per-processor α
+// and β cost units in the paper's sense.
+func (p *Proc) ChargeComm(alphaUnits, words int64) {
+	if alphaUnits < 0 || words < 0 {
+		panic("simmpi: negative communication charge")
+	}
+	p.msgs += alphaUnits
+	p.words += words
+	p.clock += float64(alphaUnits)*p.rt.cost.Alpha + float64(words)*p.rt.cost.Beta
+	p.chargePhase(alphaUnits, words, 0)
+}
+
+// Compute charges flops floating point operations to the virtual clock.
+// It is how algorithms account for local BLAS-style work. It returns an
+// injected failure when the run was configured with one (tests of abort
+// paths); production algorithms propagate the error.
+func (p *Proc) Compute(flops int64) error {
+	if p.failArm {
+		p.failArm = false
+		p.failErr = fmt.Errorf("%w (rank %d)", ErrInjectedFailure, p.rank)
+		return p.failErr
+	}
+	if flops < 0 {
+		panic("simmpi: negative flop count")
+	}
+	p.flops += flops
+	p.clock += float64(flops) * p.rt.cost.Gamma
+	p.chargePhase(0, 0, flops)
+	return nil
+}
+
+// AdvanceClock adds dt seconds of non-flop local work (used by tests).
+func (p *Proc) AdvanceClock(dt float64) { p.clock += dt }
+
+// Run executes body on p ranks with default options and returns run
+// statistics. The first error returned by any body aborts the run and is
+// returned.
+func Run(p int, body func(*Proc) error) (*Stats, error) {
+	return RunWithOptions(p, Options{}, body)
+}
+
+// RunWithOptions executes body on p ranks under the given options.
+func RunWithOptions(np int, opts Options, body func(*Proc) error) (*Stats, error) {
+	if np <= 0 {
+		return nil, fmt.Errorf("simmpi: invalid rank count %d", np)
+	}
+	cost := opts.Cost
+	if cost == (CostParams{}) {
+		cost = DefaultCost
+	}
+	r := &rt{p: np, cost: cost, boxes: make([]*mailbox, np)}
+	for i := range r.boxes {
+		b := &mailbox{}
+		b.cond = sync.NewCond(&b.mu)
+		r.boxes[i] = b
+	}
+
+	procs := make([]*Proc, np)
+	errs := make([]error, np)
+	var wg sync.WaitGroup
+	wg.Add(np)
+
+	worldRanks := make([]int, np)
+	for i := range worldRanks {
+		worldRanks[i] = i
+	}
+
+	for i := 0; i < np; i++ {
+		pr := &Proc{rank: i, rt: r}
+		pr.world = &Comm{proc: pr, id: 0, ranks: worldRanks, index: i}
+		if opts.FailEnabled && opts.FailRank == i {
+			pr.failArm = true
+		}
+		procs[i] = pr
+		go func(pr *Proc) {
+			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					buf := make([]byte, 4096)
+					n := runtime.Stack(buf, false)
+					errs[pr.rank] = fmt.Errorf("simmpi: rank %d panicked: %v\n%s", pr.rank, rec, buf[:n])
+					r.abort(errs[pr.rank])
+				}
+				pr.finished = true
+			}()
+			if err := body(pr); err != nil {
+				errs[pr.rank] = err
+				r.abort(err)
+			}
+		}(pr)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	if opts.Timeout > 0 {
+		select {
+		case <-done:
+		case <-time.After(opts.Timeout):
+			r.abort(ErrTimeout)
+			<-done
+		}
+	} else {
+		<-done
+	}
+
+	// The abort cause is the root error; ranks that merely observed the
+	// abort report ErrAborted, which would mask it.
+	firstErr := r.abortErr
+	if firstErr == nil {
+		for _, e := range errs {
+			if e != nil {
+				firstErr = e
+				break
+			}
+		}
+	}
+
+	st := &Stats{PerRank: make([]Counters, np)}
+	for _, pr := range procs {
+		for label, c := range pr.phases {
+			if st.Phases == nil {
+				st.Phases = make(map[string]Counters)
+			}
+			agg := st.Phases[label]
+			if c.Msgs > agg.Msgs {
+				agg.Msgs = c.Msgs
+			}
+			if c.Words > agg.Words {
+				agg.Words = c.Words
+			}
+			if c.Flops > agg.Flops {
+				agg.Flops = c.Flops
+			}
+			st.Phases[label] = agg
+		}
+	}
+	for i, pr := range procs {
+		c := pr.Counters()
+		st.PerRank[i] = c
+		if c.Time > st.Time {
+			st.Time = c.Time
+		}
+		if c.Msgs > st.MaxMsgs {
+			st.MaxMsgs = c.Msgs
+		}
+		if c.Words > st.MaxWords {
+			st.MaxWords = c.Words
+		}
+		if c.Flops > st.MaxFlops {
+			st.MaxFlops = c.Flops
+		}
+		st.TotalMsgs += c.Msgs
+		st.TotalWords += c.Words
+		st.TotalFlops += c.Flops
+	}
+	if firstErr != nil {
+		return st, firstErr
+	}
+	return st, nil
+}

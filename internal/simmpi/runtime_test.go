@@ -1,0 +1,326 @@
+package simmpi
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+	"time"
+)
+
+func TestRunBasicRanks(t *testing.T) {
+	seen := make([]bool, 8)
+	st, err := Run(8, func(p *Proc) error {
+		if p.Size() != 8 {
+			return fmt.Errorf("size %d", p.Size())
+		}
+		seen[p.Rank()] = true
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("rank %d never ran", i)
+		}
+	}
+	if st.Time != 0 || st.TotalMsgs != 0 {
+		t.Fatalf("idle run accumulated cost: %+v", st)
+	}
+}
+
+func TestRunRejectsBadRankCount(t *testing.T) {
+	if _, err := Run(0, func(p *Proc) error { return nil }); err == nil {
+		t.Fatal("expected error for P=0")
+	}
+}
+
+func TestComputeAdvancesClock(t *testing.T) {
+	st, err := RunWithOptions(2, Options{Cost: CostParams{Gamma: 2}}, func(p *Proc) error {
+		return p.Compute(10)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Time != 20 {
+		t.Fatalf("clock = %v, want 20", st.Time)
+	}
+	if st.MaxFlops != 10 || st.TotalFlops != 20 {
+		t.Fatalf("flop counters wrong: %+v", st)
+	}
+}
+
+func TestSendRecvDelivers(t *testing.T) {
+	_, err := Run(2, func(p *Proc) error {
+		w := p.World()
+		if p.Rank() == 0 {
+			return w.Send(1, 7, []float64{1, 2, 3})
+		}
+		got, err := w.Recv(0, 7)
+		if err != nil {
+			return err
+		}
+		if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+			return fmt.Errorf("payload %v", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendBufferIndependence(t *testing.T) {
+	_, err := Run(2, func(p *Proc) error {
+		w := p.World()
+		if p.Rank() == 0 {
+			buf := []float64{42}
+			if err := w.Send(1, 0, buf); err != nil {
+				return err
+			}
+			buf[0] = -1 // must not corrupt the in-flight message
+			return nil
+		}
+		got, err := w.Recv(0, 0)
+		if err != nil {
+			return err
+		}
+		if got[0] != 42 {
+			return fmt.Errorf("message corrupted: %v", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTagMatching(t *testing.T) {
+	// Messages with different tags must match out of arrival order.
+	_, err := Run(2, func(p *Proc) error {
+		w := p.World()
+		if p.Rank() == 0 {
+			if err := w.Send(1, 1, []float64{1}); err != nil {
+				return err
+			}
+			return w.Send(1, 2, []float64{2})
+		}
+		got2, err := w.Recv(0, 2)
+		if err != nil {
+			return err
+		}
+		got1, err := w.Recv(0, 1)
+		if err != nil {
+			return err
+		}
+		if got1[0] != 1 || got2[0] != 2 {
+			return fmt.Errorf("tag matching wrong: %v %v", got1, got2)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFIFOPerTag(t *testing.T) {
+	_, err := Run(2, func(p *Proc) error {
+		w := p.World()
+		if p.Rank() == 0 {
+			for i := 0; i < 10; i++ {
+				if err := w.Send(1, 0, []float64{float64(i)}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for i := 0; i < 10; i++ {
+			got, err := w.Recv(0, 0)
+			if err != nil {
+				return err
+			}
+			if got[0] != float64(i) {
+				return fmt.Errorf("out of order: got %v want %d", got[0], i)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClockCausality(t *testing.T) {
+	// A receiver's clock must never be behind the sender's send-start.
+	cost := CostParams{Alpha: 1, Beta: 0, Gamma: 1}
+	st, err := RunWithOptions(2, Options{Cost: cost}, func(p *Proc) error {
+		w := p.World()
+		if p.Rank() == 0 {
+			if err := p.Compute(100); err != nil { // clock = 100
+				return err
+			}
+			return w.Send(1, 0, []float64{1}) // clock = 101
+		}
+		if _, err := w.Recv(0, 0); err != nil { // clock = max(0,100)+1 = 101
+			return err
+		}
+		if p.Clock() < 100 {
+			return fmt.Errorf("receiver clock %v ran ahead of causality", p.Clock())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Time != 101 {
+		t.Fatalf("critical path %v, want 101", st.Time)
+	}
+}
+
+func TestSendRecvExchangeChargesOneRound(t *testing.T) {
+	cost := CostParams{Alpha: 1, Beta: 1}
+	st, err := RunWithOptions(2, Options{Cost: cost}, func(p *Proc) error {
+		w := p.World()
+		got, err := w.SendRecv(1-p.Rank(), 5, []float64{float64(p.Rank())})
+		if err != nil {
+			return err
+		}
+		if got[0] != float64(1-p.Rank()) {
+			return fmt.Errorf("exchange payload %v", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One α + one word·β per rank.
+	if st.MaxMsgs != 1 || st.MaxWords != 1 {
+		t.Fatalf("exchange charged msgs=%d words=%d, want 1,1", st.MaxMsgs, st.MaxWords)
+	}
+	if st.Time != 2 {
+		t.Fatalf("exchange time %v, want 2", st.Time)
+	}
+}
+
+func TestInvalidPeerErrors(t *testing.T) {
+	_, err := Run(2, func(p *Proc) error {
+		if p.Rank() != 0 {
+			return nil
+		}
+		if err := p.World().Send(5, 0, nil); err == nil {
+			return errors.New("send to invalid rank succeeded")
+		}
+		if _, err := p.World().Recv(-1, 0); err == nil {
+			return errors.New("recv from invalid rank succeeded")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWatchdogBreaksDeadlock(t *testing.T) {
+	start := time.Now()
+	_, err := RunWithOptions(2, Options{Timeout: 200 * time.Millisecond}, func(p *Proc) error {
+		// Both ranks receive; nobody sends: a deadlock.
+		_, err := p.World().Recv(1-p.Rank(), 0)
+		return err
+	})
+	if err == nil {
+		t.Fatal("deadlock not detected")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("watchdog took too long")
+	}
+}
+
+func TestInjectedFailureAborts(t *testing.T) {
+	_, err := RunWithOptions(4, Options{FailEnabled: true, FailRank: 2, Timeout: 5 * time.Second}, func(p *Proc) error {
+		if err := p.Compute(1); err != nil {
+			return err
+		}
+		// Everyone else blocks on a collective that rank 2 never joins.
+		_, err := p.World().Allreduce([]float64{1})
+		return err
+	})
+	if !errors.Is(err, ErrInjectedFailure) {
+		t.Fatalf("got %v, want injected failure", err)
+	}
+}
+
+func TestPanicInBodyIsReported(t *testing.T) {
+	_, err := RunWithOptions(3, Options{Timeout: 5 * time.Second}, func(p *Proc) error {
+		if p.Rank() == 1 {
+			panic("boom")
+		}
+		_, err := p.World().Allreduce([]float64{1})
+		return err
+	})
+	if err == nil {
+		t.Fatal("panic not surfaced")
+	}
+}
+
+func TestPerRankCounters(t *testing.T) {
+	st, err := Run(3, func(p *Proc) error {
+		return p.Compute(int64(p.Rank()) * 100)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.PerRank) != 3 {
+		t.Fatalf("PerRank len %d", len(st.PerRank))
+	}
+	for i, c := range st.PerRank {
+		if c.Flops != int64(i)*100 {
+			t.Fatalf("rank %d flops %d", i, c.Flops)
+		}
+	}
+	if st.MaxFlops != 200 || st.TotalFlops != 300 {
+		t.Fatalf("aggregates wrong: %+v", st)
+	}
+}
+
+func TestNegativeChargePanics(t *testing.T) {
+	_, err := RunWithOptions(1, Options{Timeout: time.Second}, func(p *Proc) error {
+		p.ChargeComm(-1, 0)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("negative charge not rejected")
+	}
+}
+
+func TestDeterministicVirtualTime(t *testing.T) {
+	// The virtual time of a fixed communication pattern must not depend
+	// on goroutine scheduling.
+	run := func() float64 {
+		st, err := Run(8, func(p *Proc) error {
+			w := p.World()
+			if err := p.Compute(int64(p.Rank()+1) * 50); err != nil {
+				return err
+			}
+			v, err := w.Allreduce([]float64{float64(p.Rank())})
+			if err != nil {
+				return err
+			}
+			if v[0] != 28 {
+				return fmt.Errorf("allreduce sum %v", v[0])
+			}
+			_, err = w.Allgather([]float64{float64(p.Rank())})
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.Time
+	}
+	t0 := run()
+	for i := 0; i < 10; i++ {
+		if ti := run(); math.Abs(ti-t0) > 1e-15 {
+			t.Fatalf("virtual time varies across runs: %v vs %v", t0, ti)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package tsqr
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"cacqr/internal/dist"
+	"cacqr/internal/lin"
+	"cacqr/internal/simmpi"
+)
+
+func runBlocked(t *testing.T, p, m, n, b int, a *lin.Matrix) {
+	t.Helper()
+	_, err := simmpi.RunWithOptions(p, simmpi.Options{Timeout: 240 * time.Second}, func(pr *simmpi.Proc) error {
+		local := a.View(pr.Rank()*(m/p), 0, m/p, n).Clone()
+		q, r, err := BlockedFactor(pr.World(), local, m, n, b)
+		if err != nil {
+			return err
+		}
+		if !r.IsUpperTriangular(1e-11 * (1 + lin.MaxAbs(r))) {
+			return errors.New("R not upper triangular")
+		}
+		flat, err := pr.World().Allgather(dist.Flatten(q))
+		if err != nil {
+			return err
+		}
+		qFull, err := dist.Unflatten(m, n, flat)
+		if err != nil {
+			return err
+		}
+		if e := lin.OrthogonalityError(qFull); e > 1e-10 {
+			return fmt.Errorf("orthogonality %g", e)
+		}
+		if e := lin.ResidualNorm(a, qFull, r); e > 1e-10 {
+			return fmt.Errorf("residual %g", e)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockedFactorShapes(t *testing.T) {
+	for _, tc := range []struct{ p, m, n, b int }{
+		{2, 16, 8, 4},  // m/P = 8 ≥ b = 4 < n = 8: plain TSQR impossible
+		{4, 32, 16, 4}, // several panels
+		{4, 32, 8, 8},  // single panel (degenerates to TSQR)
+		{8, 64, 24, 4}, // n beyond any single rank's rows? m/P=8 < n=24
+		{1, 12, 12, 3}, // sequential, square
+	} {
+		t.Run(fmt.Sprintf("P%d_%dx%d_b%d", tc.p, tc.m, tc.n, tc.b), func(t *testing.T) {
+			a := lin.RandomMatrix(tc.m, tc.n, int64(tc.p*tc.b))
+			runBlocked(t, tc.p, tc.m, tc.n, tc.b, a)
+		})
+	}
+}
+
+func TestBlockedFactorWidensTSQRRange(t *testing.T) {
+	// n = 24 with m/P = 8: Factor must reject, BlockedFactor must work.
+	const p, m, n, b = 8, 64, 24, 4
+	a := lin.RandomMatrix(m, n, 7)
+	_, err := simmpi.RunWithOptions(p, simmpi.Options{Timeout: 120 * time.Second}, func(pr *simmpi.Proc) error {
+		local := a.View(pr.Rank()*(m/p), 0, m/p, n).Clone()
+		if _, _, err := Factor(pr.World(), local, m, n); err == nil {
+			return errors.New("plain TSQR accepted m/P < n")
+		}
+		_, _, err := BlockedFactor(pr.World(), local, m, n, b)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockedFactorMatchesSequentialR(t *testing.T) {
+	const p, m, n, b = 4, 32, 8, 4
+	a := lin.RandomMatrix(m, n, 11)
+	_, rSeq, err := lin.QR(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = simmpi.RunWithOptions(p, simmpi.Options{Timeout: 120 * time.Second}, func(pr *simmpi.Proc) error {
+		local := a.View(pr.Rank()*(m/p), 0, m/p, n).Clone()
+		_, r, err := BlockedFactor(pr.World(), local, m, n, b)
+		if err != nil {
+			return err
+		}
+		if !r.EqualWithin(rSeq, 1e-9*(1+lin.MaxAbs(rSeq))) {
+			return errors.New("R differs from sequential Householder")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockedFactorIllConditioned(t *testing.T) {
+	// Stability carries over from the TSQR panels: κ=1e10 still yields
+	// an orthonormal Q (where CholeskyQR2 would fail).
+	const p, m, n, b = 4, 64, 8, 4
+	a := lin.RandomWithCond(m, n, 1e10, 13)
+	runBlocked(t, p, m, n, b, a)
+}
+
+func TestBlockedFactorValidation(t *testing.T) {
+	_, err := simmpi.RunWithOptions(2, simmpi.Options{Timeout: 30 * time.Second}, func(pr *simmpi.Proc) error {
+		if _, _, err := BlockedFactor(pr.World(), lin.NewMatrix(4, 6), 8, 6, 4); err == nil {
+			return errors.New("b∤n accepted")
+		}
+		if _, _, err := BlockedFactor(pr.World(), lin.NewMatrix(2, 4), 4, 4, 4); err == nil {
+			return errors.New("m/P < b accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

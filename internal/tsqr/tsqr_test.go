@@ -1,0 +1,153 @@
+package tsqr
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"cacqr/internal/dist"
+	"cacqr/internal/lin"
+	"cacqr/internal/simmpi"
+)
+
+func runTSQR(t *testing.T, p, m, n int, a *lin.Matrix) *simmpi.Stats {
+	t.Helper()
+	st, err := simmpi.RunWithOptions(p, simmpi.Options{Timeout: 120 * time.Second}, func(pr *simmpi.Proc) error {
+		local := a.View(pr.Rank()*(m/p), 0, m/p, n).Clone()
+		q, r, err := Factor(pr.World(), local, m, n)
+		if err != nil {
+			return err
+		}
+		if !r.IsUpperTriangular(1e-12) {
+			return errors.New("R not upper triangular")
+		}
+		// Local block equation.
+		if !lin.MatMul(q, r).EqualWithin(a.View(pr.Rank()*(m/p), 0, m/p, n), 1e-9) {
+			return errors.New("local residual too large")
+		}
+		// Assemble Q and verify orthogonality + global residual.
+		flat, err := pr.World().Allgather(dist.Flatten(q))
+		if err != nil {
+			return err
+		}
+		qFull, err := dist.Unflatten(m, n, flat)
+		if err != nil {
+			return err
+		}
+		if e := lin.OrthogonalityError(qFull); e > 1e-11 {
+			return fmt.Errorf("orthogonality %g", e)
+		}
+		if e := lin.ResidualNorm(a, qFull, r); e > 1e-11 {
+			return fmt.Errorf("residual %g", e)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestFactorAcrossRankCounts(t *testing.T) {
+	for _, tc := range []struct{ p, m, n int }{
+		{1, 16, 4},
+		{2, 16, 4},
+		{4, 32, 4},
+		{8, 64, 8},
+		{16, 128, 4},
+	} {
+		t.Run(fmt.Sprintf("P%d_%dx%d", tc.p, tc.m, tc.n), func(t *testing.T) {
+			a := lin.RandomMatrix(tc.m, tc.n, int64(tc.p))
+			runTSQR(t, tc.p, tc.m, tc.n, a)
+		})
+	}
+}
+
+func TestFactorMatchesSequentialR(t *testing.T) {
+	const p, m, n = 4, 64, 8
+	a := lin.RandomMatrix(m, n, 7)
+	_, rSeq, err := lin.QR(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = simmpi.RunWithOptions(p, simmpi.Options{Timeout: 60 * time.Second}, func(pr *simmpi.Proc) error {
+		local := a.View(pr.Rank()*(m/p), 0, m/p, n).Clone()
+		_, r, err := Factor(pr.World(), local, m, n)
+		if err != nil {
+			return err
+		}
+		if !r.EqualWithin(rSeq, 1e-9) {
+			return errors.New("R differs from sequential Householder")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFactorIllConditionedStable(t *testing.T) {
+	// TSQR's selling point: unconditional stability where CholeskyQR2
+	// fails (κ ≈ 1e10 ⇒ κ² overflows double precision's 1/ε).
+	const p, m, n = 4, 128, 8
+	a := lin.RandomWithCond(m, n, 1e10, 3)
+	runTSQR(t, p, m, n, a)
+}
+
+func TestFactorValidation(t *testing.T) {
+	_, err := simmpi.RunWithOptions(3, simmpi.Options{Timeout: 30 * time.Second}, func(pr *simmpi.Proc) error {
+		// Non-power-of-two P.
+		if _, _, err := Factor(pr.World(), lin.NewMatrix(4, 2), 12, 2); err == nil {
+			return errors.New("P=3 accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = simmpi.RunWithOptions(2, simmpi.Options{Timeout: 30 * time.Second}, func(pr *simmpi.Proc) error {
+		// m not divisible.
+		if _, _, err := Factor(pr.World(), lin.NewMatrix(3, 2), 7, 2); err == nil {
+			return errors.New("indivisible m accepted")
+		}
+		// Local block not tall enough.
+		if _, _, err := Factor(pr.World(), lin.NewMatrix(2, 4), 4, 4); err == nil {
+			return errors.New("short local block accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommunicationScalesLogarithmically(t *testing.T) {
+	// Words per rank should grow like n²·log P (tree depth), not n²·P.
+	const m, n = 256, 8
+	a := lin.RandomMatrix(m, n, 9)
+	words := map[int]int64{}
+	for _, p := range []int{2, 4, 8, 16} {
+		st, err := simmpi.RunWithOptions(p, simmpi.Options{
+			Cost:    simmpi.CostParams{Alpha: 1, Beta: 1},
+			Timeout: 60 * time.Second,
+		}, func(pr *simmpi.Proc) error {
+			local := a.View(pr.Rank()*(m/p), 0, m/p, n).Clone()
+			_, _, err := Factor(pr.World(), local, m, n)
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		words[p] = st.MaxWords
+	}
+	// Rank 0 is the busiest: its words grow by about one n² tree level
+	// plus the extra bcast share per doubling — far below 2x per
+	// doubling (linear growth).
+	for p := 4; p <= 16; p *= 2 {
+		growth := float64(words[p]) / float64(words[p/2])
+		if growth > 1.8 {
+			t.Fatalf("P=%d: words grew %.2fx per doubling (not logarithmic): %v", p, growth, words)
+		}
+	}
+}

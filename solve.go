@@ -1,0 +1,64 @@
+package cacqr
+
+import (
+	"fmt"
+)
+
+// SolveLeastSquares solves the overdetermined least-squares problem
+// min ‖A·x − b‖₂ for an m×n matrix A (m ≥ n, full rank) by factoring A
+// with CA-CQR2 on the given simulated grid and back-substituting
+// x = R⁻¹·Qᵀ·b. This is the workload the paper's introduction motivates:
+// very overdetermined systems in many variables.
+func SolveLeastSquares(a *Dense, b []float64, spec GridSpec, opts Options) ([]float64, error) {
+	if len(b) != a.Rows {
+		return nil, fmt.Errorf("cacqr: rhs length %d for %d rows", len(b), a.Rows)
+	}
+	res, err := FactorizeOnGrid(a, spec, opts)
+	if err != nil {
+		return nil, err
+	}
+	return solveWithQR(res.Q, res.R, b)
+}
+
+// SolveLeastSquaresSeq is the sequential counterpart using CholeskyQR2
+// (falling back to the shifted three-pass variant for ill-conditioned
+// inputs).
+func SolveLeastSquaresSeq(a *Dense, b []float64) ([]float64, error) {
+	if len(b) != a.Rows {
+		return nil, fmt.Errorf("cacqr: rhs length %d for %d rows", len(b), a.Rows)
+	}
+	q, r, err := CholeskyQR2(a)
+	if err != nil {
+		q, r, err = ShiftedCQR3(a)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return solveWithQR(q, r, b)
+}
+
+// solveWithQR computes x = R⁻¹·Qᵀ·b by projection and back substitution.
+func solveWithQR(q, r *Dense, b []float64) ([]float64, error) {
+	n := r.Cols
+	qtb := make([]float64, n)
+	for j := 0; j < n; j++ {
+		var s float64
+		for i := 0; i < q.Rows; i++ {
+			s += q.At(i, j) * b[i]
+		}
+		qtb[j] = s
+	}
+	x := make([]float64, n)
+	for j := n - 1; j >= 0; j-- {
+		s := qtb[j]
+		for k := j + 1; k < n; k++ {
+			s -= r.At(j, k) * x[k]
+		}
+		d := r.At(j, j)
+		if d == 0 {
+			return nil, fmt.Errorf("cacqr: rank-deficient system (zero pivot at %d)", j)
+		}
+		x[j] = s / d
+	}
+	return x, nil
+}

@@ -1,0 +1,118 @@
+package cacqr
+
+import (
+	"math"
+	"testing"
+)
+
+// buildSystem constructs an exactly solvable overdetermined system
+// A·xTrue = b with known solution.
+func buildSystem(m, n int, seed int64) (*Dense, []float64, []float64) {
+	a := RandomMatrix(m, n, seed)
+	xTrue := make([]float64, n)
+	for j := range xTrue {
+		xTrue[j] = float64(j+1) / 2
+	}
+	b := make([]float64, m)
+	for i := 0; i < m; i++ {
+		var s float64
+		for j := 0; j < n; j++ {
+			s += a.At(i, j) * xTrue[j]
+		}
+		b[i] = s
+	}
+	return a, b, xTrue
+}
+
+func TestSolveLeastSquaresExact(t *testing.T) {
+	a, b, xTrue := buildSystem(64, 8, 1)
+	x, err := SolveLeastSquares(a, b, GridSpec{C: 2, D: 4}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range x {
+		if math.Abs(x[j]-xTrue[j]) > 1e-10 {
+			t.Fatalf("x[%d] = %v, want %v", j, x[j], xTrue[j])
+		}
+	}
+}
+
+func TestSolveLeastSquaresSeq(t *testing.T) {
+	a, b, xTrue := buildSystem(50, 5, 2)
+	x, err := SolveLeastSquaresSeq(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range x {
+		if math.Abs(x[j]-xTrue[j]) > 1e-10 {
+			t.Fatalf("x[%d] = %v, want %v", j, x[j], xTrue[j])
+		}
+	}
+}
+
+func TestSolveLeastSquaresResidualMinimized(t *testing.T) {
+	// With noise added, the LS solution must have a residual orthogonal
+	// to the column space: ‖Aᵀ(Ax−b)‖ ≈ 0.
+	a, b, _ := buildSystem(80, 6, 3)
+	for i := range b {
+		b[i] += 0.01 * math.Sin(float64(i))
+	}
+	x, err := SolveLeastSquares(a, b, GridSpec{C: 1, D: 4}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < a.Cols; j++ {
+		var g float64
+		for i := 0; i < a.Rows; i++ {
+			var pred float64
+			for k := 0; k < a.Cols; k++ {
+				pred += a.At(i, k) * x[k]
+			}
+			g += a.At(i, j) * (pred - b[i])
+		}
+		if math.Abs(g) > 1e-9 {
+			t.Fatalf("normal equations violated at column %d: %g", j, g)
+		}
+	}
+}
+
+func TestSolveLeastSquaresSeqIllConditionedFallsBack(t *testing.T) {
+	// κ ≈ 1e10 breaks CholeskyQR2; the solver must fall back to the
+	// shifted three-pass variant and still produce a usable solution.
+	m, n := 120, 6
+	a := RandomWithCond(m, n, 1e10, 4)
+	b := make([]float64, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			b[i] += a.At(i, j)
+		}
+	}
+	x, err := SolveLeastSquaresSeq(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The true solution is all-ones; with κ=1e10 we accept a loose
+	// forward error but require the residual to be tiny.
+	var rss, bss float64
+	for i := 0; i < m; i++ {
+		var pred float64
+		for j := 0; j < n; j++ {
+			pred += a.At(i, j) * x[j]
+		}
+		rss += (pred - b[i]) * (pred - b[i])
+		bss += b[i] * b[i]
+	}
+	if math.Sqrt(rss/bss) > 1e-6 {
+		t.Fatalf("relative residual %g too large", math.Sqrt(rss/bss))
+	}
+}
+
+func TestSolveLeastSquaresValidation(t *testing.T) {
+	a := RandomMatrix(8, 2, 5)
+	if _, err := SolveLeastSquares(a, make([]float64, 7), GridSpec{C: 1, D: 2}, Options{}); err == nil {
+		t.Fatal("mismatched rhs accepted")
+	}
+	if _, err := SolveLeastSquaresSeq(a, make([]float64, 3)); err == nil {
+		t.Fatal("mismatched rhs accepted (seq)")
+	}
+}
