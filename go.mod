@@ -1,0 +1,3 @@
+module cacqr
+
+go 1.21

@@ -1,13 +1,3 @@
-// Package bench regenerates every table and figure of the paper's
-// evaluation: the asymptotic cost table (Table I), the per-line cost
-// tables (Tables II–VI), the algorithm-illustration traces (Figures 2–3),
-// and the strong/weak scaling studies on the Stampede2 and Blue Waters
-// machine models (Figures 1, 4, 5, 6, 7), plus the accuracy experiment
-// supporting the paper's §I stability discussion.
-//
-// Scaling figures are produced by the validated cost model evaluated at
-// the paper's scale; traces and table validations execute the real
-// distributed algorithms on the simmpi runtime.
 package bench
 
 import (

@@ -1,0 +1,191 @@
+package dist
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"cacqr/internal/lin"
+	"cacqr/internal/simmpi"
+)
+
+// errMentions checks err is non-nil and mentions substr, so the error
+// paths stay actionable, not just present. It returns rather than fails
+// so rank-goroutine bodies can report through RunWithOptions (t.Fatal
+// must not be called off the test goroutine).
+func errMentions(err error, substr string) error {
+	if err == nil {
+		return fmt.Errorf("expected an error mentioning %q, got nil", substr)
+	}
+	if !strings.Contains(err.Error(), substr) {
+		return fmt.Errorf("error %q does not mention %q", err, substr)
+	}
+	return nil
+}
+
+// wantErr is errMentions for tests running on the test goroutine.
+func wantErr(t *testing.T, err error, substr string) {
+	t.Helper()
+	if err := errMentions(err, substr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromGlobalRejectsNonDivisible(t *testing.T) {
+	a := lin.NewMatrix(10, 6)
+	_, err := FromGlobal(a, 4, 2, 0, 0) // 4 ∤ 10
+	wantErr(t, err, "not divisible")
+	_, err = FromGlobal(a, 2, 4, 0, 0) // 4 ∤ 6
+	wantErr(t, err, "not divisible")
+}
+
+func TestFromGlobalRejectsBadGrid(t *testing.T) {
+	a := lin.NewMatrix(4, 4)
+	_, err := FromGlobal(a, 0, 2, 0, 0)
+	wantErr(t, err, "invalid")
+	_, err = FromGlobal(a, 2, 2, 2, 0) // row out of range
+	wantErr(t, err, "outside")
+	_, err = FromGlobal(a, 2, 2, 0, -1) // col out of range
+	wantErr(t, err, "outside")
+	_, err = FromGlobal(nil, 2, 2, 0, 0)
+	wantErr(t, err, "nil")
+}
+
+func TestFromGlobalDegenerateGrid(t *testing.T) {
+	// A 1×1 grid owns everything: the local block is the whole matrix.
+	a := indexedMatrix(3, 5)
+	d, err := FromGlobal(a, 1, 1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Local.Equal(a) {
+		t.Fatal("1×1 grid block differs from the global matrix")
+	}
+}
+
+func TestUnflattenRejectsLengthMismatch(t *testing.T) {
+	_, err := Unflatten(2, 3, make([]float64, 5))
+	wantErr(t, err, "5 values")
+	_, err = Unflatten(2, 3, make([]float64, 7))
+	wantErr(t, err, "7 values")
+	_, err = Unflatten(-1, 3, nil)
+	wantErr(t, err, "negative")
+}
+
+func TestUnflattenEmpty(t *testing.T) {
+	m, err := Unflatten(0, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 0 || m.Cols != 4 {
+		t.Fatalf("empty unflatten gave %dx%d", m.Rows, m.Cols)
+	}
+}
+
+func TestAssembleGlobalRejectsBadPieces(t *testing.T) {
+	ok := []*lin.Matrix{lin.NewMatrix(2, 2), lin.NewMatrix(2, 2)}
+	_, err := AssembleGlobal(4, 2, 2, 1, ok[:1]) // wrong count
+	wantErr(t, err, "pieces")
+	_, err = AssembleGlobal(4, 2, 2, 1, []*lin.Matrix{ok[0], nil}) // nil piece
+	wantErr(t, err, "nil piece")
+	_, err = AssembleGlobal(4, 2, 2, 1, []*lin.Matrix{ok[0], lin.NewMatrix(1, 2)}) // wrong shape
+	wantErr(t, err, "want 2x2")
+	_, err = AssembleGlobal(5, 2, 2, 1, ok) // non-divisible global
+	wantErr(t, err, "not divisible")
+}
+
+func TestScatterRejectsBadSetup(t *testing.T) {
+	_, err := simmpi.RunWithOptions(2, simmpi.Options{Timeout: 30 * time.Second}, func(p *simmpi.Proc) error {
+		comm := p.World()
+		a := lin.NewMatrix(4, 4)
+
+		// Grid does not match the communicator size: local error on every
+		// rank, no communication attempted.
+		_, err := Scatter(comm, 0, a, 4, 4, 2, 2)
+		if err := errMentions(err, "want 4"); err != nil {
+			return err
+		}
+
+		// Non-divisible dimensions: rejected before any traffic.
+		_, err = Scatter(comm, 0, a, 3, 4, 2, 1)
+		if err := errMentions(err, "not divisible"); err != nil {
+			return err
+		}
+
+		// Root out of range.
+		_, err = Scatter(comm, 5, a, 4, 4, 2, 1)
+		if err := errMentions(err, "root 5"); err != nil {
+			return err
+		}
+
+		// Root without a matrix, or with the wrong shape. Only rank 0
+		// exercises these: they fail locally before any send, and rank 1
+		// never posts a receive for them.
+		if comm.Index() == 0 {
+			_, err = Scatter(comm, 0, nil, 4, 4, 2, 1)
+			if err := errMentions(err, "no global matrix"); err != nil {
+				return err
+			}
+			_, err = Scatter(comm, 0, lin.NewMatrix(4, 2), 4, 4, 2, 1)
+			if err := errMentions(err, "declared as"); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGatherRejectsBadSetup(t *testing.T) {
+	_, err := simmpi.RunWithOptions(2, simmpi.Options{Timeout: 30 * time.Second}, func(p *simmpi.Proc) error {
+		comm := p.World()
+		_, err := Gather(comm, lin.NewMatrix(2, 4), 4, 4, 2, 2) // wrong comm size
+		if err := errMentions(err, "want 4"); err != nil {
+			return err
+		}
+		_, err = Gather(comm, lin.NewMatrix(2, 4), 5, 4, 2, 1) // non-divisible
+		if err := errMentions(err, "not divisible"); err != nil {
+			return err
+		}
+		_, err = Gather(comm, lin.NewMatrix(3, 3), 4, 4, 2, 1) // wrong local shape
+		if err := errMentions(err, "want 2x4"); err != nil {
+			return err
+		}
+		_, err = Gather(comm, nil, 4, 4, 2, 1) // nil local
+		if err := errMentions(err, "nil local"); err != nil {
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleRankScatterGather(t *testing.T) {
+	// The 1×1 grid on one rank: both collectives degenerate to copies.
+	a := indexedMatrix(4, 6)
+	_, err := simmpi.RunWithOptions(1, simmpi.Options{Timeout: 30 * time.Second}, func(p *simmpi.Proc) error {
+		d, err := Scatter(p.World(), 0, a, 4, 6, 1, 1)
+		if err != nil {
+			return err
+		}
+		if !d.Local.Equal(a) {
+			return fmt.Errorf("1×1 scatter altered the matrix")
+		}
+		g, err := Gather(p.World(), d.Local, 4, 6, 1, 1)
+		if err != nil {
+			return err
+		}
+		if !g.Equal(a) {
+			return fmt.Errorf("1×1 gather altered the matrix")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

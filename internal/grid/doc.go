@@ -1,0 +1,13 @@
+// Package grid builds the tunable c × d × c processor grids of the
+// CA-CQR2 paper on top of simmpi communicators: per-dimension
+// communicators, 2D slices, the contiguous and strided y-subgroups of
+// Algorithm 8, and the c × c × c subcubes on which CFR3D and MM3D run.
+//
+// Rank (x, y, z) of a c × d × c grid linearizes as x + c·(y + d·z), with
+// x ∈ [0, c), y ∈ [0, d), z ∈ [0, c). The paper's 3D grid is the special
+// case d = c, and its 1D grid is c = 1.
+//
+// Data on a grid is laid out by the cyclic distribution of package dist:
+// matrix rows cycle over the y dimension, columns over x, and blocks are
+// replicated across the depth dimension z.
+package grid

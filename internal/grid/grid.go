@@ -1,11 +1,3 @@
-// Package grid builds the tunable c × d × c processor grids of the
-// CA-CQR2 paper on top of simmpi communicators: per-dimension
-// communicators, 2D slices, the contiguous and strided y-subgroups of
-// Algorithm 8, and the c × c × c subcubes on which CFR3D and MM3D run.
-//
-// Rank (x, y, z) of a c × d × c grid linearizes as x + c·(y + d·z), with
-// x ∈ [0, c), y ∈ [0, d), z ∈ [0, c). The paper's 3D grid is the special
-// case d = c, and its 1D grid is c = 1.
 package grid
 
 import (

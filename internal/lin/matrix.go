@@ -1,13 +1,3 @@
-// Package lin provides the dense linear algebra substrate used by the
-// CA-CQR2 reproduction: a row-major float64 matrix type and the
-// BLAS/LAPACK-style kernels the paper's algorithms depend on (GEMM, SYRK,
-// TRSM, TRMM, Cholesky, triangular inverse, Householder QR, norms, and
-// random matrix generators).
-//
-// Everything is written from scratch on the standard library. Kernels are
-// cache-blocked but make no attempt to compete with tuned BLAS; the
-// reproduction's cost model separates flop counts (which these kernels
-// match exactly) from flop rates (which belong to the machine model).
 package lin
 
 import (

@@ -1,15 +1,3 @@
-// Package pgeqrf is the evaluation baseline: a ScaLAPACK-PGEQRF-style 2D
-// parallel Householder QR factorization. It reproduces the communication
-// pattern whose cost the paper compares CA-CQR2 against — per panel, a
-// sequence of column-communicator allreduces during the panel
-// factorization, a row-communicator broadcast of the reflector panel, and
-// a column-communicator allreduce in the compact-WY trailing update —
-// and performs the classic 2mn² − (2/3)n³ Householder flops.
-//
-// Layout: the m×n matrix lives on a pr × pc process grid with
-// element-cyclic rows (global row i on process row i mod pr) and
-// block-cyclic columns of width nb (panel k on process column k mod pc),
-// i.e. a ScaLAPACK (MB=1, NB=nb) distribution.
 package pgeqrf
 
 import (

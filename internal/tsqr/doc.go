@@ -1,0 +1,12 @@
+// Package tsqr implements the communication-optimal Tall-Skinny QR
+// factorization (Demmel et al., the paper's reference [5]) over a 1D
+// processor grid: a binary-reduction tree of small Householder
+// factorizations. It is the established alternative to CholeskyQR2 in the
+// tall-skinny regime — unconditionally stable, but with a deeper critical
+// path (the log P tree of QR factorizations versus CQR2's single
+// Allreduce), which is exactly the tradeoff the paper's reference [4]
+// quantifies.
+//
+// Factor is the classic m/P ≥ n tree; BlockedFactor is the blocked
+// variant that only needs m/P ≥ b for a chosen panel width b.
+package tsqr

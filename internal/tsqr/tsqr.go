@@ -1,11 +1,3 @@
-// Package tsqr implements the communication-optimal Tall-Skinny QR
-// factorization (Demmel et al., the paper's reference [5]) over a 1D
-// processor grid: a binary-reduction tree of small Householder
-// factorizations. It is the established alternative to CholeskyQR2 in the
-// tall-skinny regime — unconditionally stable, but with a deeper critical
-// path (the log P tree of QR factorizations versus CQR2's single
-// Allreduce), which is exactly the tradeoff the paper's reference [4]
-// quantifies.
 package tsqr
 
 import (
