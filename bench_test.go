@@ -199,7 +199,7 @@ func BenchmarkRunPGEQRF(b *testing.B) {
 func BenchmarkSequentialCQR2(b *testing.B) {
 	a := lin.RandomMatrix(512, 32, 45)
 	for i := 0; i < b.N; i++ {
-		if _, _, err := core.CholeskyQR2(a); err != nil {
+		if _, _, err := core.CholeskyQR2(a, 1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -252,7 +252,7 @@ func BenchmarkRunTSQR(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_, err := simmpi.Run(p, func(pr *simmpi.Proc) error {
 			local := a.View(pr.Rank()*(m/p), 0, m/p, n).Clone()
-			_, _, err := tsqr.Factor(pr.World(), local, m, n)
+			_, _, err := tsqr.Factor(pr.World(), local, m, n, 1)
 			return err
 		})
 		if err != nil {

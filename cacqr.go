@@ -70,7 +70,7 @@ func fromLin(m *lin.Matrix) *Dense {
 // CholeskyQR passes. Q has orthonormal columns to machine precision when
 // κ(A) ≲ 10⁷; beyond that it returns an error (use ShiftedCQR3).
 func CholeskyQR2(a *Dense) (q, r *Dense, err error) {
-	ql, rl, err := core.CholeskyQR2(a.toLin())
+	ql, rl, err := core.CholeskyQR2(a.toLin(), 0)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -80,7 +80,7 @@ func CholeskyQR2(a *Dense) (q, r *Dense, err error) {
 // ShiftedCQR3 is the unconditionally stable three-pass variant: a shifted
 // CholeskyQR pass followed by CholeskyQR2.
 func ShiftedCQR3(a *Dense) (q, r *Dense, err error) {
-	ql, rl, err := core.ShiftedCQR3(a.toLin())
+	ql, rl, err := core.ShiftedCQR3(a.toLin(), 0)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -139,6 +139,16 @@ type Options struct {
 	PanelWidth int
 	// Timeout bounds the simulated run's wall-clock time (0 = 10min).
 	Timeout time.Duration
+	// Workers bounds the goroutines each simulated rank's local level-3
+	// kernels may use on top of the rank's own goroutine. The default of
+	// 0 means 1 (serial per rank): a simulated grid already runs P
+	// goroutines, so extra fan-out only helps when the grid is small and
+	// the per-rank blocks are large. Factors and measured costs are
+	// identical for any value — Workers trades wall-clock only.
+	//
+	// The sequential entry points (CholeskyQR2, ShiftedCQR3, Solve) do
+	// not consult Options; they always use all of GOMAXPROCS.
+	Workers int
 }
 
 // CostStats reports a run's measured per-processor cost in the paper's
@@ -205,7 +215,7 @@ func FactorizeOnGrid(a *Dense, spec GridSpec, opts Options) (*Result, error) {
 			return err
 		}
 		ad = &dist.Matrix{M: m, N: n, PR: spec.D, PC: spec.C, Row: g.Y, Col: g.X, Local: local}
-		prm := core.Params{InverseDepth: opts.InverseDepth, BaseSize: opts.BaseSize}
+		prm := core.Params{InverseDepth: opts.InverseDepth, BaseSize: opts.BaseSize, Workers: opts.Workers}
 		var qL, rL *lin.Matrix
 		if opts.PanelWidth > 0 {
 			qL, rL, err = core.PanelCACQR2(g, ad.Local, m, n, opts.PanelWidth, prm)
@@ -262,9 +272,9 @@ func FactorizeTSQR(a *Dense, procs, panelWidth int, opts Options) (*Result, erro
 		var qL, rL *lin.Matrix
 		var err error
 		if panelWidth > 0 {
-			qL, rL, err = tsqr.BlockedFactor(p.World(), local, m, n, panelWidth)
+			qL, rL, err = tsqr.BlockedFactor(p.World(), local, m, n, panelWidth, opts.Workers)
 		} else {
-			qL, rL, err = tsqr.Factor(p.World(), local, m, n)
+			qL, rL, err = tsqr.Factor(p.World(), local, m, n, opts.Workers)
 		}
 		if err != nil {
 			return err

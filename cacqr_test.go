@@ -219,3 +219,48 @@ func TestPublicMatchesSequentialReference(t *testing.T) {
 	}
 	_ = q1
 }
+
+// TestWorkersKnobIsDeterministic: the Options.Workers knob may only
+// change wall-clock, never results or measured costs — the parallel
+// kernels are bitwise identical to the serial ones.
+func TestWorkersKnobIsDeterministic(t *testing.T) {
+	a := RandomMatrix(128, 16, 7)
+	spec := GridSpec{C: 2, D: 4}
+	base, err := FactorizeOnGrid(a, spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{1, 4} {
+		got, err := FactorizeOnGrid(a, spec, Options{Workers: w})
+		if err != nil {
+			t.Fatalf("Workers=%d: %v", w, err)
+		}
+		for i := range got.Q.Data {
+			if got.Q.Data[i] != base.Q.Data[i] {
+				t.Fatalf("Workers=%d: Q differs at %d", w, i)
+			}
+		}
+		for i := range got.R.Data {
+			if got.R.Data[i] != base.R.Data[i] {
+				t.Fatalf("Workers=%d: R differs at %d", w, i)
+			}
+		}
+		if got.Stats != base.Stats {
+			t.Fatalf("Workers=%d: measured costs changed: %+v vs %+v", w, got.Stats, base.Stats)
+		}
+	}
+
+	tq, err := FactorizeTSQR(a, 4, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tq4, err := FactorizeTSQR(a, 4, 0, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tq.Q.Data {
+		if tq.Q.Data[i] != tq4.Q.Data[i] {
+			t.Fatalf("TSQR Workers=4: Q differs at %d", i)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+// Command bench runs the reproducible performance suite (internal/perf)
+// and writes BENCH_results.json: ns/op, GFLOP/s, and per-processor
+// communication for a fixed set of paper-shape factorizations and the
+// level-3 kernels under them.
+//
+// CI runs it as
+//
+//	go run ./cmd/bench -quick -o BENCH_results.json -baseline BENCH_baseline.json
+//
+// which fails (exit 1) when any case regresses more than -tolerance
+// versus the checked-in baseline. Regenerate the baseline on a quiet
+// machine with
+//
+//	go run ./cmd/bench -quick -o BENCH_baseline.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"cacqr/internal/perf"
+)
+
+func main() {
+	var (
+		quick     = flag.Bool("quick", false, "run the smaller CI-sized suite")
+		out       = flag.String("o", "BENCH_results.json", "path for the JSON report")
+		baseline  = flag.String("baseline", "", "baseline report to gate against (empty = no gating)")
+		tolerance = flag.Float64("tolerance", 1.25, "allowed ns/op ratio vs baseline before failing")
+		workers   = flag.Int("workers", 0, "Options.Workers for the factorization cases (0 = per-rank serial)")
+	)
+	flag.Parse()
+	if err := run(*quick, *out, *baseline, *tolerance, *workers); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(quick bool, out, baseline string, tolerance float64, workers int) error {
+	rep, err := perf.RunSuite(quick, workers, func(format string, args ...any) {
+		fmt.Printf(format+"\n", args...)
+	})
+	if err != nil {
+		return err
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d cases, quick=%v)\n", out, len(rep.Results), quick)
+
+	if baseline == "" {
+		return nil
+	}
+	base, err := readReport(baseline)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	// ns/op gates only mean something on comparable hardware; flag
+	// cross-machine comparisons loudly so a red (or green) gate on a
+	// different host is read with the right suspicion.
+	if base.NumCPU != rep.NumCPU || base.GOARCH != rep.GOARCH {
+		fmt.Printf("warning: baseline host differs (baseline %s/%d cpu vs current %s/%d cpu); ns/op comparison is approximate — consider regenerating %s on this machine\n",
+			base.GOARCH, base.NumCPU, rep.GOARCH, rep.NumCPU, baseline)
+	}
+	regs, missing := perf.Compare(base, rep, tolerance)
+	for _, name := range missing {
+		fmt.Printf("warning: baseline case %q not in current suite\n", name)
+	}
+	if len(missing) == len(base.Results) && len(base.Results) > 0 {
+		return fmt.Errorf("no baseline case matches the current suite (baseline quick=%v, run quick=%v?)", base.Quick, rep.Quick)
+	}
+	if len(regs) > 0 {
+		for _, r := range regs {
+			fmt.Printf("REGRESSION %s\n", r)
+		}
+		return fmt.Errorf("%d case(s) regressed more than %.0f%% vs %s", len(regs), (tolerance-1)*100, baseline)
+	}
+	fmt.Printf("no regressions vs %s (tolerance %.2fx)\n", baseline, tolerance)
+	return nil
+}
+
+func readReport(path string) (*perf.Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep perf.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, err
+	}
+	if rep.Schema != perf.Schema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, rep.Schema, perf.Schema)
+	}
+	return &rep, nil
+}

@@ -24,19 +24,19 @@ func Accuracy() string {
 		a := lin.RandomWithCond(m, n, k, int64(k))
 		row := fmt.Sprintf("%8.0e", k)
 
-		if q, _, err := core.CholeskyQR(a); err == nil {
+		if q, _, err := core.CholeskyQR(a, 0); err == nil {
 			row += fmt.Sprintf("  %11.2e", lin.OrthogonalityError(q))
 		} else {
 			row += "       failed"
 		}
 		var resid float64 = -1
-		if q, r, err := core.CholeskyQR2(a); err == nil {
+		if q, r, err := core.CholeskyQR2(a, 0); err == nil {
 			row += fmt.Sprintf("  %11.2e", lin.OrthogonalityError(q))
 			resid = lin.ResidualNorm(a, q, r)
 		} else {
 			row += "       failed"
 		}
-		if q, _, err := core.ShiftedCQR3(a); err == nil {
+		if q, _, err := core.ShiftedCQR3(a, 0); err == nil {
 			row += fmt.Sprintf("  %11.2e", lin.OrthogonalityError(q))
 		} else {
 			row += "       failed"

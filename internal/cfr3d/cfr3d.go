@@ -34,6 +34,10 @@ type Options struct {
 	// InverseDepth is the number of top recursion levels that skip the
 	// formation of the off-diagonal inverse block Y21.
 	InverseDepth int
+	// Workers bounds the goroutines each rank's local level-3 kernels
+	// may use (≤ 1 = serial, the right default when many simulated ranks
+	// already share the host). Results are identical for any value.
+	Workers int
 }
 
 // Result carries the distributed factors.
@@ -78,7 +82,7 @@ func Factor(cb *grid.Cube, aLocal *lin.Matrix, n int, opts Options) (*Result, er
 	if opts.InverseDepth < 0 {
 		return nil, fmt.Errorf("cfr3d: negative InverseDepth %d", opts.InverseDepth)
 	}
-	l, y, err := factor(cb, aLocal, n, base, 0, opts.InverseDepth)
+	l, y, err := factor(cb, aLocal, n, base, 0, opts.InverseDepth, opts.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -86,7 +90,7 @@ func Factor(cb *grid.Cube, aLocal *lin.Matrix, n int, opts Options) (*Result, er
 }
 
 // factor is the recursive body; depth counts levels from the top.
-func factor(cb *grid.Cube, aLocal *lin.Matrix, n, base, depth, invDepth int) (lLocal, yLocal *lin.Matrix, err error) {
+func factor(cb *grid.Cube, aLocal *lin.Matrix, n, base, depth, invDepth, workers int) (lLocal, yLocal *lin.Matrix, err error) {
 	// Base case also triggers when the matrix can no longer be halved
 	// cleanly over the grid (n/2 must stay divisible by E).
 	if n <= base || (n/2)%cb.E != 0 || n%2 != 0 {
@@ -99,7 +103,7 @@ func factor(cb *grid.Cube, aLocal *lin.Matrix, n, base, depth, invDepth int) (lL
 	a22 := aLocal.View(half, half, half, half)
 
 	// Line 5: recurse on A11.
-	l11, y11, err := factor(cb, a11.Clone(), n/2, base, depth+1, invDepth)
+	l11, y11, err := factor(cb, a11.Clone(), n/2, base, depth+1, invDepth, workers)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -108,7 +112,7 @@ func factor(cb *grid.Cube, aLocal *lin.Matrix, n, base, depth, invDepth int) (lL
 	// levels of Y11 unformed (the sub-call skipped its Y21 blocks for
 	// invDepth − depth − 1 levels), apply the inverse by blocked
 	// substitution down to the levels where Y11 is complete.
-	l21, err := applyLinvT(cb, a21.Clone(), l11, y11, invDepth-depth-1)
+	l21, err := applyLinvT(cb, a21.Clone(), l11, y11, invDepth-depth-1, workers)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -118,7 +122,7 @@ func factor(cb *grid.Cube, aLocal *lin.Matrix, n, base, depth, invDepth int) (lL
 	if err != nil {
 		return nil, nil, err
 	}
-	u, err := mm3d.Multiply(cb, l21, x)
+	u, err := mm3d.Multiply(cb, l21, x, workers)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -131,7 +135,7 @@ func factor(cb *grid.Cube, aLocal *lin.Matrix, n, base, depth, invDepth int) (lL
 	}
 
 	// Line 11: recurse on the Schur complement.
-	l22, y22, err := factor(cb, z, n/2, base, depth+1, invDepth)
+	l22, y22, err := factor(cb, z, n/2, base, depth+1, invDepth, workers)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -139,7 +143,7 @@ func factor(cb *grid.Cube, aLocal *lin.Matrix, n, base, depth, invDepth int) (lL
 	// Lines 12–14: Y21 = −Y22·(L21·Y11), skipped above InverseDepth.
 	var y21 *lin.Matrix
 	if depth >= invDepth {
-		u2, err := mm3d.Multiply(cb, l21, y11)
+		u2, err := mm3d.Multiply(cb, l21, y11, workers)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -148,7 +152,7 @@ func factor(cb *grid.Cube, aLocal *lin.Matrix, n, base, depth, invDepth int) (lL
 		if err := p.Compute(int64(negY22.Rows) * int64(negY22.Cols)); err != nil {
 			return nil, nil, err
 		}
-		y21, err = mm3d.Multiply(cb, negY22, u2)
+		y21, err = mm3d.Multiply(cb, negY22, u2, workers)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -170,13 +174,13 @@ func factor(cb *grid.Cube, aLocal *lin.Matrix, n, base, depth, invDepth int) (lL
 //
 // which costs one extra (smaller) MM3D and transpose per level — the
 // flops-for-synchronization trade of the paper's InverseDepth knob.
-func applyLinvT(cb *grid.Cube, a, l, y *lin.Matrix, k int) (*lin.Matrix, error) {
+func applyLinvT(cb *grid.Cube, a, l, y *lin.Matrix, k, workers int) (*lin.Matrix, error) {
 	if k <= 0 || l.Rows < 2 || l.Rows%2 != 0 {
 		w, err := mm3d.Transpose(cb, y)
 		if err != nil {
 			return nil, err
 		}
-		return mm3d.Multiply(cb, a, w)
+		return mm3d.Multiply(cb, a, w, workers)
 	}
 	p := cb.Comm.Proc()
 	half := l.Rows / 2
@@ -189,7 +193,7 @@ func applyLinvT(cb *grid.Cube, a, l, y *lin.Matrix, k int) (*lin.Matrix, error) 
 	a1 := a.View(0, 0, a.Rows, half).Clone()
 	a2 := a.View(0, half, a.Rows, half).Clone()
 
-	x1, err := applyLinvT(cb, a1, la, ya, k-1)
+	x1, err := applyLinvT(cb, a1, la, ya, k-1, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -197,7 +201,7 @@ func applyLinvT(cb *grid.Cube, a, l, y *lin.Matrix, k int) (*lin.Matrix, error) 
 	if err != nil {
 		return nil, err
 	}
-	t, err := mm3d.Multiply(cb, x1, lt)
+	t, err := mm3d.Multiply(cb, x1, lt, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -205,7 +209,7 @@ func applyLinvT(cb *grid.Cube, a, l, y *lin.Matrix, k int) (*lin.Matrix, error) 
 	if err := p.Compute(lin.AxpyFlops(a2.Rows, a2.Cols)); err != nil {
 		return nil, err
 	}
-	x2, err := applyLinvT(cb, a2, lb, yb, k-1)
+	x2, err := applyLinvT(cb, a2, lb, yb, k-1, workers)
 	if err != nil {
 		return nil, err
 	}

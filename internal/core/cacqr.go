@@ -21,6 +21,21 @@ type Params struct {
 	InverseDepth int
 	// BaseSize is CFR3D's n_o (0 = the bandwidth-optimal default).
 	BaseSize int
+	// Workers bounds the goroutines each rank's local level-3 kernels may
+	// use (≤ 1 = serial). Simulated grids already run one goroutine per
+	// rank, so the default of 1 avoids oversubscribing the host; raise it
+	// when ranks are few and matrices large. Results are identical for
+	// any value.
+	Workers int
+}
+
+// localWorkers resolves the Params knob for per-rank kernels: anything
+// below 1 means serial.
+func (p Params) localWorkers() int {
+	if p.Workers < 1 {
+		return 1
+	}
+	return p.Workers
 }
 
 // CACQR runs Algorithm 8 over a c × d × c grid: one CholeskyQR pass whose
@@ -62,7 +77,7 @@ func CACQR(g *grid.Grid, aLocal *lin.Matrix, m, n int, prm Params) (qLocal, rLoc
 	// symmetrically, as its implementation's BLAS calls do.
 	p.SetPhase("2:MM(WtA)")
 	x := lin.NewMatrix(n/c, n/c)
-	lin.Gemm(true, false, 1, w, aLocal, 0, x)
+	lin.GemmParallel(prm.localWorkers(), true, false, 1, w, aLocal, 0, x)
 	if err := p.Compute(lin.SyrkFlops(m/d, n/c)); err != nil {
 		return nil, nil, err
 	}
@@ -107,7 +122,7 @@ func CACQR(g *grid.Grid, aLocal *lin.Matrix, m, n int, prm Params) (qLocal, rLoc
 	// Lines 6–7: CFR3D on the subcube: Z = Rᵀ·R with L = Rᵀ, Y = L⁻¹.
 	p.SetPhase("7:CFR3D")
 	res, err := cfr3d.Factor(g.Cube, zBlock, n, cfr3d.Options{
-		BaseSize: prm.BaseSize, InverseDepth: prm.InverseDepth,
+		BaseSize: prm.BaseSize, InverseDepth: prm.InverseDepth, Workers: prm.localWorkers(),
 	})
 	if err != nil {
 		return nil, nil, err
@@ -117,7 +132,7 @@ func CACQR(g *grid.Grid, aLocal *lin.Matrix, m, n int, prm Params) (qLocal, rLoc
 	// top inverse levels were skipped), plus the transpose that yields
 	// the caller's R = Lᵀ block.
 	p.SetPhase("8:MM3D(Q)+Transp")
-	qLocal, err = applyRInv(g.Cube, aLocal, res.L, res.Y, prm.InverseDepth)
+	qLocal, err = applyRInv(g.Cube, aLocal, res.L, res.Y, prm.InverseDepth, prm.localWorkers())
 	if err != nil {
 		return nil, nil, err
 	}
@@ -139,7 +154,7 @@ func CACQR2(g *grid.Grid, aLocal *lin.Matrix, m, n int, prm Params) (qLocal, rLo
 	if err != nil {
 		return nil, nil, err
 	}
-	r, err := mm3d.MultiplyTri(g.Cube, r2, r1) // triangular × triangular
+	r, err := mm3d.MultiplyTri(g.Cube, r2, r1, prm.localWorkers()) // triangular × triangular
 	if err != nil {
 		return nil, nil, err
 	}
@@ -151,13 +166,13 @@ func CACQR2(g *grid.Grid, aLocal *lin.Matrix, m, n int, prm Params) (qLocal, rLo
 // with R⁻¹ = Yᵀ (Algorithm 8 line 8). For invDepth > 0 it performs the
 // §III-A blocked substitution: split R = [R11 R12; 0 R22], solve
 // Q1 = A1·R11⁻¹, update A2' = A2 − Q1·R12, solve Q2 = A2'·R22⁻¹.
-func applyRInv(cb *grid.Cube, aLocal, l, y *lin.Matrix, invDepth int) (*lin.Matrix, error) {
+func applyRInv(cb *grid.Cube, aLocal, l, y *lin.Matrix, invDepth, workers int) (*lin.Matrix, error) {
 	if invDepth <= 0 || l.Rows < 2 || l.Rows%2 != 0 {
 		rinv, err := mm3d.Transpose(cb, y)
 		if err != nil {
 			return nil, err
 		}
-		return mm3d.MultiplyTri(cb, aLocal, rinv) // R⁻¹ is triangular
+		return mm3d.MultiplyTri(cb, aLocal, rinv, workers) // R⁻¹ is triangular
 	}
 	p := cb.Comm.Proc()
 	half := l.Rows / 2
@@ -171,7 +186,7 @@ func applyRInv(cb *grid.Cube, aLocal, l, y *lin.Matrix, invDepth int) (*lin.Matr
 	a1 := aLocal.View(0, 0, aLocal.Rows, ha).Clone()
 	a2 := aLocal.View(0, ha, aLocal.Rows, ha).Clone()
 
-	q1, err := applyRInv(cb, a1, l11, y11, invDepth-1)
+	q1, err := applyRInv(cb, a1, l11, y11, invDepth-1, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -181,7 +196,7 @@ func applyRInv(cb *grid.Cube, aLocal, l, y *lin.Matrix, invDepth int) (*lin.Matr
 	if err != nil {
 		return nil, err
 	}
-	t, err := mm3d.Multiply(cb, q1, r12)
+	t, err := mm3d.Multiply(cb, q1, r12, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -190,7 +205,7 @@ func applyRInv(cb *grid.Cube, aLocal, l, y *lin.Matrix, invDepth int) (*lin.Matr
 		return nil, err
 	}
 
-	q2, err := applyRInv(cb, a2, l22, y22, invDepth-1)
+	q2, err := applyRInv(cb, a2, l22, y22, invDepth-1, workers)
 	if err != nil {
 		return nil, err
 	}

@@ -102,7 +102,7 @@ func TestCACQR2MatchesSequentialR(t *testing.T) {
 	// with sequential CholeskyQR2 up to roundoff.
 	const c, d, m, n = 2, 4, 32, 8
 	a := lin.RandomMatrix(m, n, 9)
-	_, rSeq, err := CholeskyQR2(a)
+	_, rSeq, err := CholeskyQR2(a, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

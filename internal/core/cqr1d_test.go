@@ -49,7 +49,7 @@ func TestOneDCQRFactors(t *testing.T) {
 func TestOneDCQR2MatchesSequential(t *testing.T) {
 	const np, m, n = 8, 64, 8
 	a := lin.RandomMatrix(m, n, 2)
-	_, rSeq, err := CholeskyQR2(a)
+	_, rSeq, err := CholeskyQR2(a, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +114,7 @@ func TestOneDCQR2SingleRank(t *testing.T) {
 	// P=1 degenerates to sequential CQR2.
 	const m, n = 20, 5
 	a := lin.RandomMatrix(m, n, 4)
-	qSeq, rSeq, err := CholeskyQR2(a)
+	qSeq, rSeq, err := CholeskyQR2(a, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

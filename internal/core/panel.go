@@ -60,14 +60,14 @@ func PanelCACQR2(g *grid.Grid, aLocal *lin.Matrix, m, n, b int, prm Params) (qLo
 		rest := work.View(0, (k+1)*bloc, work.Rows, restLoc)
 
 		// R_k,rest = Q_kᵀ·A_rest via the Algorithm 8 Gram pattern.
-		rkRest, err := gramProduct(g, qk, rest.Clone(), b, restLoc*c)
+		rkRest, err := gramProduct(g, qk, rest.Clone(), b, restLoc*c, prm.localWorkers())
 		if err != nil {
 			return nil, nil, fmt.Errorf("core: panel %d trailing product: %w", k, err)
 		}
 		r.View(k*bloc, (k+1)*bloc, bloc, restLoc).CopyFrom(rkRest)
 
 		// A_rest -= Q_k · R_k,rest over the subcube.
-		upd, err := mm3d.Multiply(g.Cube, qk, rkRest)
+		upd, err := mm3d.Multiply(g.Cube, qk, rkRest, prm.localWorkers())
 		if err != nil {
 			return nil, nil, fmt.Errorf("core: panel %d trailing update: %w", k, err)
 		}
@@ -85,7 +85,7 @@ func PanelCACQR2(g *grid.Grid, aLocal *lin.Matrix, m, n, b int, prm Params) (qLo
 // cyclically over each subcube slice (rows over cube-y, columns over x)
 // and replicated across depth and subcubes — the Algorithm 8 lines 1–5
 // communication pattern with Q in place of A's left operand.
-func gramProduct(g *grid.Grid, qLoc, bLoc *lin.Matrix, bq, nb int) (*lin.Matrix, error) {
+func gramProduct(g *grid.Grid, qLoc, bLoc *lin.Matrix, bq, nb, workers int) (*lin.Matrix, error) {
 	p := g.World.Proc()
 	c := g.C
 
@@ -103,7 +103,7 @@ func gramProduct(g *grid.Grid, qLoc, bLoc *lin.Matrix, bq, nb int) (*lin.Matrix,
 	}
 
 	x := lin.NewMatrix(bq/c, nb/c)
-	lin.Gemm(true, false, 1, w, bLoc, 0, x)
+	lin.GemmParallel(workers, true, false, 1, w, bLoc, 0, x)
 	if err := p.Compute(lin.GemmFlops(bq/c, nb/c, qLoc.Rows)); err != nil {
 		return nil, err
 	}

@@ -26,30 +26,33 @@ var ErrIllConditioned = errors.New("core: matrix too ill-conditioned for Cholesk
 // CholeskyQR computes the reduced factorization A = Q·R by one CholeskyQR
 // pass (Algorithm 4): W = AᵀA, R = chol(W)ᵀ, Q = A·R⁻¹. The orthogonality
 // error of Q grows as Θ(κ(A)²·ε); the residual stays O(ε).
-func CholeskyQR(a *lin.Matrix) (q, r *lin.Matrix, err error) {
+//
+// workers bounds the goroutines the level-3 kernels may use (0 =
+// GOMAXPROCS, 1 = serial); results are identical for any value.
+func CholeskyQR(a *lin.Matrix, workers int) (q, r *lin.Matrix, err error) {
 	if a.Rows < a.Cols {
 		return nil, nil, lin.ErrShape
 	}
-	w := lin.SyrkNew(a)
+	w := lin.SyrkNewParallel(workers, a)
 	l, y, err := lin.CholInv(w)
 	if err != nil {
 		return nil, nil, fmt.Errorf("%w: %v", ErrIllConditioned, err)
 	}
 	q = lin.NewMatrix(a.Rows, a.Cols)
 	// Q = A·R⁻¹ = A·(L⁻¹)ᵀ.
-	lin.Gemm(false, true, 1, a, y, 0, q)
+	lin.GemmParallel(workers, false, true, 1, a, y, 0, q)
 	return q, l.T(), nil
 }
 
 // CholeskyQR2 computes A = Q·R by two CholeskyQR passes (Algorithm 5).
 // When κ(A) ≲ 1/√ε, Q is orthogonal to working accuracy — as good as
 // Householder QR.
-func CholeskyQR2(a *lin.Matrix) (q, r *lin.Matrix, err error) {
-	q1, r1, err := CholeskyQR(a)
+func CholeskyQR2(a *lin.Matrix, workers int) (q, r *lin.Matrix, err error) {
+	q1, r1, err := CholeskyQR(a, workers)
 	if err != nil {
 		return nil, nil, err
 	}
-	q, r2, err := CholeskyQR(q1)
+	q, r2, err := CholeskyQR(q1, workers)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -64,12 +67,12 @@ func CholeskyQR2(a *lin.Matrix) (q, r *lin.Matrix, err error) {
 // s = 11·(m·n + n·(n+1))·ε·‖A‖₂². The resulting Q is far from orthogonal
 // but has condition number small enough for CholeskyQR2 to finish the
 // job.
-func ShiftedCholeskyQR(a *lin.Matrix) (q, r *lin.Matrix, err error) {
+func ShiftedCholeskyQR(a *lin.Matrix, workers int) (q, r *lin.Matrix, err error) {
 	if a.Rows < a.Cols {
 		return nil, nil, lin.ErrShape
 	}
 	m, n := a.Rows, a.Cols
-	w := lin.SyrkNew(a)
+	w := lin.SyrkNewParallel(workers, a)
 	// ‖A‖₂² ≤ ‖A‖_F²; the bound only needs an upper estimate.
 	norm2sq := 0.0
 	for i := 0; i < n; i++ {
@@ -87,7 +90,7 @@ func ShiftedCholeskyQR(a *lin.Matrix) (q, r *lin.Matrix, err error) {
 		return nil, nil, fmt.Errorf("%w: shifted Gram still indefinite: %v", ErrIllConditioned, err)
 	}
 	q = lin.NewMatrix(m, n)
-	lin.Gemm(false, true, 1, a, y, 0, q)
+	lin.GemmParallel(workers, false, true, 1, a, y, 0, q)
 	return q, l.T(), nil
 }
 
@@ -95,12 +98,12 @@ func ShiftedCholeskyQR(a *lin.Matrix) (q, r *lin.Matrix, err error) {
 // paper's §V highlights as future work: one shifted CholeskyQR pass to
 // tame the conditioning, then CholeskyQR2 on the result. It succeeds for
 // κ(A) up to ~1/ε where plain CQR2 breaks down at ~1/√ε.
-func ShiftedCQR3(a *lin.Matrix) (q, r *lin.Matrix, err error) {
-	q1, r1, err := ShiftedCholeskyQR(a)
+func ShiftedCQR3(a *lin.Matrix, workers int) (q, r *lin.Matrix, err error) {
+	q1, r1, err := ShiftedCholeskyQR(a, workers)
 	if err != nil {
 		return nil, nil, err
 	}
-	q, r23, err := CholeskyQR2(q1)
+	q, r23, err := CholeskyQR2(q1, workers)
 	if err != nil {
 		return nil, nil, err
 	}

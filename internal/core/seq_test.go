@@ -12,7 +12,7 @@ import (
 func TestCholeskyQRBasics(t *testing.T) {
 	for _, sh := range []struct{ m, n int }{{1, 1}, {8, 8}, {40, 10}, {100, 3}} {
 		a := lin.RandomMatrix(sh.m, sh.n, int64(sh.m+sh.n))
-		q, r, err := CholeskyQR(a)
+		q, r, err := CholeskyQR(a, 1)
 		if err != nil {
 			t.Fatalf("%dx%d: %v", sh.m, sh.n, err)
 		}
@@ -29,14 +29,14 @@ func TestCholeskyQRBasics(t *testing.T) {
 }
 
 func TestCholeskyQRRejectsWide(t *testing.T) {
-	if _, _, err := CholeskyQR(lin.NewMatrix(3, 5)); !errors.Is(err, lin.ErrShape) {
+	if _, _, err := CholeskyQR(lin.NewMatrix(3, 5), 1); !errors.Is(err, lin.ErrShape) {
 		t.Fatalf("got %v", err)
 	}
 }
 
 func TestCholeskyQR2MatchesHouseholder(t *testing.T) {
 	a := lin.RandomWithCond(60, 12, 1e4, 3)
-	q, r, err := CholeskyQR2(a)
+	q, r, err := CholeskyQR2(a, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,11 +59,11 @@ func TestOrthogonalityDegradation(t *testing.T) {
 	const m, n = 80, 10
 	for _, cond := range []float64{1e2, 1e4, 1e6} {
 		a := lin.RandomWithCond(m, n, cond, 42)
-		q1, _, err := CholeskyQR(a)
+		q1, _, err := CholeskyQR(a, 1)
 		if err != nil {
 			t.Fatalf("κ=%g: %v", cond, err)
 		}
-		q2, _, err := CholeskyQR2(a)
+		q2, _, err := CholeskyQR2(a, 1)
 		if err != nil {
 			t.Fatalf("κ=%g: %v", cond, err)
 		}
@@ -79,11 +79,11 @@ func TestOrthogonalityDegradation(t *testing.T) {
 	// Single-pass error must grow roughly like κ².
 	aLo := lin.RandomWithCond(m, n, 1e2, 7)
 	aHi := lin.RandomWithCond(m, n, 1e5, 7)
-	qLo, _, err := CholeskyQR(aLo)
+	qLo, _, err := CholeskyQR(aLo, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	qHi, _, err := CholeskyQR(aHi)
+	qHi, _, err := CholeskyQR(aHi, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,13 +100,13 @@ func TestCholeskyQRFailsBeyondSqrtEps(t *testing.T) {
 	for i := 0; i < 60; i++ {
 		a.Set(i, 7, 0)
 	}
-	if _, _, err := CholeskyQR(a); !errors.Is(err, ErrIllConditioned) {
+	if _, _, err := CholeskyQR(a, 1); !errors.Is(err, ErrIllConditioned) {
 		t.Fatalf("got %v, want ErrIllConditioned", err)
 	}
 	// At κ ≈ 1e9 (κ² ≫ 1/ε) CholeskyQR either fails or returns a badly
 	// non-orthogonal Q — it must never silently look accurate.
 	b := lin.RandomWithCond(60, 12, 1e9, 5)
-	q, _, err := CholeskyQR(b)
+	q, _, err := CholeskyQR(b, 1)
 	if err == nil {
 		if e := lin.OrthogonalityError(q); e < 1e-4 {
 			t.Fatalf("κ=1e9 single-pass orthogonality %g is implausibly good", e)
@@ -117,7 +117,7 @@ func TestCholeskyQRFailsBeyondSqrtEps(t *testing.T) {
 func TestShiftedCQR3HandlesIllConditioned(t *testing.T) {
 	// The three-pass shifted variant must succeed where CQR2 fails.
 	a := lin.RandomWithCond(60, 12, 1e9, 5)
-	q, r, err := ShiftedCQR3(a)
+	q, r, err := ShiftedCQR3(a, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +139,7 @@ func TestShiftedCholeskyQRAlwaysFactors(t *testing.T) {
 		a.Set(i, 0, 1)
 		a.Set(i, 4, float64(i))
 	}
-	q, r, err := ShiftedCholeskyQR(a)
+	q, r, err := ShiftedCholeskyQR(a, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,10 +151,10 @@ func TestShiftedCholeskyQRAlwaysFactors(t *testing.T) {
 func TestShiftedCholeskyQRZeroMatrix(t *testing.T) {
 	// The all-zero matrix has no positive shift to offer; the shifted
 	// variant must fail cleanly rather than divide by zero.
-	if _, _, err := ShiftedCholeskyQR(lin.NewMatrix(6, 3)); !errors.Is(err, ErrIllConditioned) {
+	if _, _, err := ShiftedCholeskyQR(lin.NewMatrix(6, 3), 1); !errors.Is(err, ErrIllConditioned) {
 		t.Fatalf("got %v, want ErrIllConditioned", err)
 	}
-	if _, _, err := ShiftedCholeskyQR(lin.NewMatrix(2, 3)); !errors.Is(err, lin.ErrShape) {
+	if _, _, err := ShiftedCholeskyQR(lin.NewMatrix(2, 3), 1); !errors.Is(err, lin.ErrShape) {
 		t.Fatalf("got %v, want ErrShape", err)
 	}
 }
@@ -164,7 +164,7 @@ func TestCholeskyQR2Property(t *testing.T) {
 	// precision for generic inputs.
 	f := func(seed int64) bool {
 		a := lin.RandomMatrix(24, 6, seed)
-		q, r, err := CholeskyQR2(a)
+		q, r, err := CholeskyQR2(a, 1)
 		if err != nil {
 			return false
 		}

@@ -22,7 +22,7 @@ func TestTSQRModelMatchesRun(t *testing.T) {
 			Timeout: 60 * time.Second,
 		}, func(pr *simmpi.Proc) error {
 			local := a.View(pr.Rank()*(tc.m/tc.p), 0, tc.m/tc.p, tc.n).Clone()
-			_, _, err := tsqr.Factor(pr.World(), local, tc.m, tc.n)
+			_, _, err := tsqr.Factor(pr.World(), local, tc.m, tc.n, 1)
 			return err
 		})
 		if err != nil {

@@ -51,7 +51,7 @@ func TestMM3DModelMatchesRun(t *testing.T) {
 			if err != nil {
 				return err
 			}
-			_, err = mm3d.Multiply(cb, ad.Local, bd.Local)
+			_, err = mm3d.Multiply(cb, ad.Local, bd.Local, 1)
 			return err
 		})
 		want := MM3D(int64(tc.m/tc.e), int64(tc.n/tc.e), int64(tc.k/tc.e), tc.e)

@@ -1,0 +1,98 @@
+package lin
+
+import (
+	"runtime"
+	"strconv"
+	"testing"
+)
+
+// Kernel benchmarks at the acceptance shape 1024×1024×64 (tall-ish
+// output, short contraction — the Gram/apply shape CholeskyQR lives on).
+// BenchmarkGEMMNaive is the pre-blocking baseline the blocked kernels
+// are gated against; run the family with
+//
+//	go test ./internal/lin -bench BenchmarkGEMM
+
+func benchGemm(b *testing.B, m, n, k int, kernel func(a, x, c *Matrix)) {
+	b.Helper()
+	a := RandomMatrix(m, k, 61)
+	x := RandomMatrix(k, n, 62)
+	c := NewMatrix(m, n)
+	b.SetBytes(int64(m*k+k*n+m*n) * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kernel(a, x, c)
+	}
+	gflops := float64(GemmFlops(m, n, k)) / 1e9
+	b.ReportMetric(gflops*float64(b.N)/b.Elapsed().Seconds(), "GFLOP/s")
+}
+
+func BenchmarkGEMMNaive1024x1024x64(b *testing.B) {
+	benchGemm(b, 1024, 1024, 64, func(a, x, c *Matrix) {
+		naiveGemm(false, false, 1, a, x, 0, c)
+	})
+}
+
+func BenchmarkGEMMBlocked1024x1024x64(b *testing.B) {
+	benchGemm(b, 1024, 1024, 64, func(a, x, c *Matrix) {
+		Gemm(false, false, 1, a, x, 0, c)
+	})
+}
+
+func BenchmarkGEMMParallel1024x1024x64(b *testing.B) {
+	benchGemm(b, 1024, 1024, 64, func(a, x, c *Matrix) {
+		GemmParallel(0, false, false, 1, a, x, 0, c)
+	})
+}
+
+func BenchmarkGEMMParallel1024Workers(b *testing.B) {
+	for _, w := range []int{1, 2, 4, runtime.NumCPU()} {
+		b.Run(strconv.Itoa(w), func(b *testing.B) {
+			benchGemm(b, 1024, 1024, 64, func(a, x, c *Matrix) {
+				GemmParallel(w, false, false, 1, a, x, 0, c)
+			})
+		})
+	}
+}
+
+func BenchmarkSYRKBlocked2048x256(b *testing.B) {
+	a := RandomMatrix(2048, 256, 63)
+	c := NewMatrix(256, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Syrk(1, a, 0, c)
+	}
+}
+
+func BenchmarkSYRKParallel2048x256(b *testing.B) {
+	a := RandomMatrix(2048, 256, 63)
+	c := NewMatrix(256, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SyrkParallel(0, 1, a, 0, c)
+	}
+}
+
+func BenchmarkTRSMBlocked2048x256(b *testing.B) {
+	t := wellCondTriangular(256, Upper, 64)
+	rhs := RandomMatrix(2048, 256, 65)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		x := rhs.Clone()
+		b.StartTimer()
+		Trsm(Right, Upper, false, t, x)
+	}
+}
+
+func BenchmarkTRSMParallel2048x256(b *testing.B) {
+	t := wellCondTriangular(256, Upper, 64)
+	rhs := RandomMatrix(2048, 256, 65)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		x := rhs.Clone()
+		b.StartTimer()
+		TrsmParallel(0, Right, Upper, false, t, x)
+	}
+}

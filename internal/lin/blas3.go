@@ -32,16 +32,14 @@ const (
 // transA and transB. It performs 2*m*n*k flops for the inner product part
 // (m, n the shape of C, k the contraction length).
 func Gemm(transA, transB bool, alpha float64, a, b *Matrix, beta float64, c *Matrix) {
+	checkGemmShapes(transA, transB, a, b, c)
 	ar, ac := a.Rows, a.Cols
 	if transA {
 		ar, ac = ac, ar
 	}
-	br, bc := b.Rows, b.Cols
+	bc := b.Cols
 	if transB {
-		br, bc = bc, br
-	}
-	if ac != br || c.Rows != ar || c.Cols != bc {
-		panic(ErrShape)
+		bc = b.Rows
 	}
 	if beta != 1 {
 		if beta == 0 {
@@ -65,8 +63,10 @@ func Gemm(transA, transB bool, alpha float64, a, b *Matrix, beta float64, c *Mat
 	}
 }
 
-// gemmNN: C += alpha * A * B, blocked over (i, k, j) with an inner loop
-// that streams rows of B against a scalar of A (good row-major locality).
+// gemmNN: C += alpha * A * B, blocked over (i, k, j). The contraction is
+// unrolled four-wide so each pass reads four rows of B against one
+// read-modify-write of the C row, quartering the C traffic that
+// dominates this shape.
 func gemmNN(alpha float64, a, b, c *Matrix) {
 	m, k, n := a.Rows, a.Cols, b.Cols
 	for ii := 0; ii < m; ii += blockSize {
@@ -77,8 +77,23 @@ func gemmNN(alpha float64, a, b, c *Matrix) {
 				jMax := min(jj+blockSize, n)
 				for i := ii; i < iMax; i++ {
 					ci := c.Data[i*c.Stride+jj : i*c.Stride+jMax]
-					for l := kk; l < kMax; l++ {
-						av := alpha * a.Data[i*a.Stride+l]
+					ai := a.Data[i*a.Stride : i*a.Stride+kMax]
+					l := kk
+					for ; l+3 < kMax; l += 4 {
+						av0 := alpha * ai[l]
+						av1 := alpha * ai[l+1]
+						av2 := alpha * ai[l+2]
+						av3 := alpha * ai[l+3]
+						b0 := b.Data[l*b.Stride+jj : l*b.Stride+jMax]
+						b1 := b.Data[(l+1)*b.Stride+jj : (l+1)*b.Stride+jMax]
+						b2 := b.Data[(l+2)*b.Stride+jj : (l+2)*b.Stride+jMax]
+						b3 := b.Data[(l+3)*b.Stride+jj : (l+3)*b.Stride+jMax]
+						for j := range ci {
+							ci[j] += av0*b0[j] + av1*b1[j] + av2*b2[j] + av3*b3[j]
+						}
+					}
+					for ; l < kMax; l++ {
+						av := alpha * ai[l]
 						if av == 0 {
 							continue
 						}
@@ -118,7 +133,9 @@ func gemmNT(alpha float64, a, b, c *Matrix) {
 	}
 }
 
-// gemmTN: C += alpha * Aᵀ * B — saxpy of rows of B scaled by columns of A.
+// gemmTN: C += alpha * Aᵀ * B — rows of B scaled by columns of A, with
+// the same four-wide contraction unroll as gemmNN (one C-row pass per
+// four B rows).
 func gemmTN(alpha float64, a, b, c *Matrix) {
 	m, k, n := a.Cols, a.Rows, b.Cols
 	for kk := 0; kk < k; kk += blockSize {
@@ -127,14 +144,28 @@ func gemmTN(alpha float64, a, b, c *Matrix) {
 			iMax := min(ii+blockSize, m)
 			for jj := 0; jj < n; jj += blockSize {
 				jMax := min(jj+blockSize, n)
-				for l := kk; l < kMax; l++ {
-					bl := b.Data[l*b.Stride+jj : l*b.Stride+jMax]
-					for i := ii; i < iMax; i++ {
+				for i := ii; i < iMax; i++ {
+					ci := c.Data[i*c.Stride+jj : i*c.Stride+jMax]
+					l := kk
+					for ; l+3 < kMax; l += 4 {
+						av0 := alpha * a.Data[l*a.Stride+i]
+						av1 := alpha * a.Data[(l+1)*a.Stride+i]
+						av2 := alpha * a.Data[(l+2)*a.Stride+i]
+						av3 := alpha * a.Data[(l+3)*a.Stride+i]
+						b0 := b.Data[l*b.Stride+jj : l*b.Stride+jMax]
+						b1 := b.Data[(l+1)*b.Stride+jj : (l+1)*b.Stride+jMax]
+						b2 := b.Data[(l+2)*b.Stride+jj : (l+2)*b.Stride+jMax]
+						b3 := b.Data[(l+3)*b.Stride+jj : (l+3)*b.Stride+jMax]
+						for j := range ci {
+							ci[j] += av0*b0[j] + av1*b1[j] + av2*b2[j] + av3*b3[j]
+						}
+					}
+					for ; l < kMax; l++ {
 						av := alpha * a.Data[l*a.Stride+i]
 						if av == 0 {
 							continue
 						}
-						ci := c.Data[i*c.Stride+jj : i*c.Stride+jMax]
+						bl := b.Data[l*b.Stride+jj : l*b.Stride+jMax]
 						for j := range ci {
 							ci[j] += av * bl[j]
 						}
@@ -182,27 +213,50 @@ func Syrk(alpha float64, a *Matrix, beta float64, c *Matrix) {
 			c.Scale(beta)
 		}
 	}
-	// Accumulate the upper triangle with blocked rank-1 updates, then
-	// mirror. Streaming rows of A keeps this cache-friendly.
+	// Accumulate the upper triangle with blocked updates, then mirror.
+	syrkRows(alpha, a, c, 0, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			c.Data[j*c.Stride+i] = c.Data[i*c.Stride+j]
+		}
+	}
+}
+
+// syrkRows accumulates rows [lo, hi) of the upper triangle of C += α·AᵀA.
+// Shared verbatim by Syrk and SyrkParallel so serial and parallel results
+// are bitwise identical. The contraction over A's rows is unrolled
+// four-wide, matching gemmNN's single pass over each C row per four A
+// rows.
+func syrkRows(alpha float64, a, c *Matrix, lo, hi int) {
+	n := a.Cols
 	for kk := 0; kk < a.Rows; kk += blockSize {
 		kMax := min(kk+blockSize, a.Rows)
-		for l := kk; l < kMax; l++ {
-			row := a.Data[l*a.Stride : l*a.Stride+n]
-			for i := 0; i < n; i++ {
+		for i := lo; i < hi; i++ {
+			ci := c.Data[i*c.Stride : i*c.Stride+n]
+			l := kk
+			for ; l+3 < kMax; l += 4 {
+				r0 := a.Data[l*a.Stride : l*a.Stride+n]
+				r1 := a.Data[(l+1)*a.Stride : (l+1)*a.Stride+n]
+				r2 := a.Data[(l+2)*a.Stride : (l+2)*a.Stride+n]
+				r3 := a.Data[(l+3)*a.Stride : (l+3)*a.Stride+n]
+				av0 := alpha * r0[i]
+				av1 := alpha * r1[i]
+				av2 := alpha * r2[i]
+				av3 := alpha * r3[i]
+				for j := i; j < n; j++ {
+					ci[j] += av0*r0[j] + av1*r1[j] + av2*r2[j] + av3*r3[j]
+				}
+			}
+			for ; l < kMax; l++ {
+				row := a.Data[l*a.Stride : l*a.Stride+n]
 				av := alpha * row[i]
 				if av == 0 {
 					continue
 				}
-				ci := c.Data[i*c.Stride : i*c.Stride+n]
 				for j := i; j < n; j++ {
 					ci[j] += av * row[j]
 				}
 			}
-		}
-	}
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			c.Data[j*c.Stride+i] = c.Data[i*c.Stride+j]
 		}
 	}
 }
@@ -220,18 +274,8 @@ func SyrkNew(a *Matrix) *Matrix {
 // computes B = T⁻¹ * B. transT applies the solve with Tᵀ. m*n² flops for
 // Right (B m×n), n²m for Left.
 func Trsm(side Side, tri Triangle, transT bool, t, b *Matrix) {
-	if t.Rows != t.Cols {
-		panic(ErrShape)
-	}
+	checkTrsm(side, tri, transT, t, b)
 	n := t.Rows
-	if side == Right && b.Cols != n || side == Left && b.Rows != n {
-		panic(ErrShape)
-	}
-	for i := 0; i < n; i++ {
-		if t.Data[i*t.Stride+i] == 0 {
-			panic(ErrSingular)
-		}
-	}
 	switch {
 	case side == Right && tri == Upper && !transT:
 		// B := B U⁻¹: forward substitution across columns of each row.
@@ -334,13 +378,8 @@ func Trsm(side Side, tri Triangle, transT bool, t, b *Matrix) {
 // Trmm computes B = T*B (side == Left) or B = B*T (side == Right) in
 // place for triangular T. transT multiplies by Tᵀ instead. n²m flops.
 func Trmm(side Side, tri Triangle, transT bool, t, b *Matrix) {
-	if t.Rows != t.Cols {
-		panic(ErrShape)
-	}
+	checkTrxmShapes(side, t, b)
 	n := t.Rows
-	if side == Right && b.Cols != n || side == Left && b.Rows != n {
-		panic(ErrShape)
-	}
 	switch {
 	case side == Right && tri == Upper && !transT:
 		// B := B U. Process columns right-to-left so inputs stay live.
@@ -470,6 +509,34 @@ func Trmm(side Side, tri Triangle, transT bool, t, b *Matrix) {
 		}
 	default:
 		panic("lin: Trmm variant not implemented")
+	}
+}
+
+// checkTrxmShapes validates the operand shapes shared by Trsm and Trmm:
+// square T and a conforming B on the chosen side.
+func checkTrxmShapes(side Side, t, b *Matrix) {
+	if t.Rows != t.Cols {
+		panic(ErrShape)
+	}
+	if side == Right && b.Cols != t.Rows || side == Left && b.Rows != t.Rows {
+		panic(ErrShape)
+	}
+}
+
+// checkTrsm is Trsm's full validation: shapes, a nonsingular diagonal,
+// and an implemented variant (the transposed solves exist for Lower
+// only). Shared with TrsmParallel, whose pooled serial calls must be
+// guaranteed panic-free — a panic on a pool worker cannot be recovered
+// by the caller.
+func checkTrsm(side Side, tri Triangle, transT bool, t, b *Matrix) {
+	checkTrxmShapes(side, t, b)
+	for i := 0; i < t.Rows; i++ {
+		if t.Data[i*t.Stride+i] == 0 {
+			panic(ErrSingular)
+		}
+	}
+	if tri == Upper && transT {
+		panic("lin: Trsm variant not implemented")
 	}
 }
 

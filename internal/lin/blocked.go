@@ -1,0 +1,171 @@
+package lin
+
+// Goroutine-parallel variants of the cache-blocked level-3 kernels. Each
+// partitions the output into disjoint row or column ranges and runs the
+// serial blocked kernel (or its exact loop body) on views, scheduled on
+// the shared worker pool in parallel.go. Per output element the
+// floating-point operation sequence is identical to the serial kernel, so
+// parallel results are bitwise equal to serial ones for any worker count.
+//
+// Flop accounting is unchanged: callers charge the same GemmFlops /
+// SyrkFlops / TrsmFlops amounts whether they invoke the serial or the
+// parallel entry point — parallelism changes wall-clock, not the model.
+
+// parallelFlopCutoff is the approximate flop count below which goroutine
+// hand-off costs more than it saves and the kernels stay serial.
+const parallelFlopCutoff = 1 << 21
+
+// GemmParallel computes C = beta*C + alpha*op(A)*op(B) using up to
+// workers goroutines (0 = GOMAXPROCS). Output rows are partitioned in
+// blockSize chunks claimed dynamically from the shared pool; each chunk
+// is a serial Gemm on disjoint views, so the result is bitwise identical
+// to the serial kernel.
+func GemmParallel(workers int, transA, transB bool, alpha float64, a, b *Matrix, beta float64, c *Matrix) {
+	workers = resolveWorkers(workers)
+	k := a.Cols
+	if transA {
+		k = a.Rows
+	}
+	if workers == 1 || GemmFlops(c.Rows, c.Cols, k) < parallelFlopCutoff {
+		Gemm(transA, transB, alpha, a, b, beta, c)
+		return
+	}
+	// The serial kernel's own validation, run before entering the pool
+	// (a panic on a pool worker is unrecoverable); the per-chunk calls
+	// then cannot fail.
+	checkGemmShapes(transA, transB, a, b, c)
+	parallelFor(workers, c.Rows, blockSize, func(lo, hi int) {
+		var aView *Matrix
+		if transA {
+			// Rows of op(A) are columns of A.
+			aView = a.View(0, lo, a.Rows, hi-lo)
+		} else {
+			aView = a.View(lo, 0, hi-lo, a.Cols)
+		}
+		Gemm(transA, transB, alpha, aView, b, beta, c.View(lo, 0, hi-lo, c.Cols))
+	})
+}
+
+// MatMulParallel returns A·B computed with GemmParallel.
+func MatMulParallel(workers int, a, b *Matrix) *Matrix {
+	c := NewMatrix(a.Rows, b.Cols)
+	GemmParallel(workers, false, false, 1, a, b, 0, c)
+	return c
+}
+
+// checkGemmShapes is the shape validation shared by Gemm and
+// GemmParallel.
+func checkGemmShapes(transA, transB bool, a, b, c *Matrix) {
+	ar, ac := a.Rows, a.Cols
+	if transA {
+		ar, ac = ac, ar
+	}
+	br, bc := b.Rows, b.Cols
+	if transB {
+		br, bc = bc, br
+	}
+	if ac != br || c.Rows != ar || c.Cols != bc {
+		panic(ErrShape)
+	}
+}
+
+// SyrkParallel computes C = beta*C + alpha*AᵀA (both halves written) using
+// up to workers goroutines. Rows of C's upper triangle are claimed in
+// small chunks so the triangular workload self-balances; each chunk runs
+// the serial accumulation restricted to its row range, making the result
+// bitwise identical to Syrk.
+func SyrkParallel(workers int, alpha float64, a *Matrix, beta float64, c *Matrix) {
+	workers = resolveWorkers(workers)
+	if workers == 1 || SyrkFlops(a.Rows, a.Cols) < parallelFlopCutoff {
+		Syrk(alpha, a, beta, c)
+		return
+	}
+	n := a.Cols
+	if c.Rows != n || c.Cols != n {
+		panic(ErrShape)
+	}
+	if beta != 1 {
+		if beta == 0 {
+			c.Zero()
+		} else {
+			c.Scale(beta)
+		}
+	}
+	// Row i of the upper triangle costs n−i updates per A row; a grain of
+	// 16 rows with dynamic claiming keeps the load even.
+	parallelFor(workers, n, 16, func(lo, hi int) {
+		syrkRows(alpha, a, c, lo, hi)
+	})
+	// Mirror the strict upper triangle; row ranges write disjoint columns
+	// of the lower triangle, so this parallelizes cleanly too.
+	parallelFor(workers, n, 64, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := i + 1; j < n; j++ {
+				c.Data[j*c.Stride+i] = c.Data[i*c.Stride+j]
+			}
+		}
+	})
+}
+
+// SyrkNewParallel returns AᵀA computed with SyrkParallel.
+func SyrkNewParallel(workers int, a *Matrix) *Matrix {
+	c := NewMatrix(a.Cols, a.Cols)
+	SyrkParallel(workers, 1, a, 0, c)
+	return c
+}
+
+// TrsmParallel is Trsm using up to workers goroutines. With side == Right
+// the rows of B are independent solves; with side == Left its columns
+// are. Either way the serial kernel runs on disjoint views, so results
+// are bitwise identical to Trsm.
+func TrsmParallel(workers int, side Side, tri Triangle, transT bool, t, b *Matrix) {
+	workers = resolveWorkers(workers)
+	n := t.Rows
+	rhs := b.Rows
+	if side == Left {
+		rhs = b.Cols
+	}
+	if workers == 1 || TrsmFlops(rhs, n) < parallelFlopCutoff {
+		Trsm(side, tri, transT, t, b)
+		return
+	}
+	// The serial kernel's own validation, run before entering the pool
+	// (a panic on a pool worker is unrecoverable); the per-chunk calls
+	// then cannot fail.
+	checkTrsm(side, tri, transT, t, b)
+	if side == Right {
+		parallelFor(workers, b.Rows, 16, func(lo, hi int) {
+			Trsm(side, tri, transT, t, b.View(lo, 0, hi-lo, b.Cols))
+		})
+		return
+	}
+	parallelFor(workers, b.Cols, 16, func(lo, hi int) {
+		Trsm(side, tri, transT, t, b.View(0, lo, b.Rows, hi-lo))
+	})
+}
+
+// TrmmParallel is Trmm using up to workers goroutines, partitioned like
+// TrsmParallel (rows for side == Right, columns for side == Left) and
+// bitwise identical to the serial kernel.
+func TrmmParallel(workers int, side Side, tri Triangle, transT bool, t, b *Matrix) {
+	workers = resolveWorkers(workers)
+	n := t.Rows
+	rhs := b.Rows
+	if side == Left {
+		rhs = b.Cols
+	}
+	if workers == 1 || TrsmFlops(rhs, n) < parallelFlopCutoff {
+		Trmm(side, tri, transT, t, b)
+		return
+	}
+	checkTrxmShapes(side, t, b)
+	if side == Right {
+		parallelFor(workers, b.Rows, 16, func(lo, hi int) {
+			Trmm(side, tri, transT, t, b.View(lo, 0, hi-lo, b.Cols))
+		})
+		return
+	}
+	parallelFor(workers, b.Cols, 16, func(lo, hi int) {
+		Trmm(side, tri, transT, t, b.View(0, lo, b.Rows, hi-lo))
+	})
+}

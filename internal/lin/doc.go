@@ -4,10 +4,15 @@
 // TRSM, TRMM, Cholesky, triangular inverse, Householder QR, norms, and
 // random matrix generators).
 //
-// Everything is written from scratch on the standard library. Kernels are
-// cache-blocked but make no attempt to compete with tuned BLAS; the
+// Everything is written from scratch on the standard library. The level-3
+// kernels are cache-blocked (48×48 tiles, four-wide unrolled
+// contractions) and have goroutine-parallel variants (GemmParallel,
+// SyrkParallel, TrsmParallel, TrmmParallel) that schedule disjoint output
+// ranges onto a shared worker pool; parallel results are bitwise
+// identical to serial, so worker counts never change numerics. The
 // reproduction's cost model separates flop counts (which these kernels
-// match exactly) from flop rates (which belong to the machine model).
-// Each kernel family has a matching *Flops counter (flops.go) that the
-// distributed algorithms charge to their rank's virtual clock.
+// match exactly, serial or parallel) from flop rates (which belong to
+// the machine model). Each kernel family has a matching *Flops counter
+// (flops.go) that the distributed algorithms charge to their rank's
+// virtual clock.
 package lin

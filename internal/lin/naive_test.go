@@ -1,0 +1,103 @@
+package lin
+
+// Naive triple-loop reference kernels. These are the ground truth the
+// blocked and parallel kernels are property-tested against, and the
+// baseline the BenchmarkGEMM* suite measures the blocked kernels'
+// speedup over. Test-only: they must never ship in the library proper.
+
+// naiveGemm computes C = beta*C + alpha*op(A)*op(B) with the textbook
+// i-j-l loop nest and no blocking.
+func naiveGemm(transA, transB bool, alpha float64, a, b *Matrix, beta float64, c *Matrix) {
+	m, k := a.Rows, a.Cols
+	if transA {
+		m, k = k, m
+	}
+	n := b.Cols
+	if transB {
+		n = b.Rows
+	}
+	at := func(i, l int) float64 {
+		if transA {
+			return a.Data[l*a.Stride+i]
+		}
+		return a.Data[i*a.Stride+l]
+	}
+	bt := func(l, j int) float64 {
+		if transB {
+			return b.Data[j*b.Stride+l]
+		}
+		return b.Data[l*b.Stride+j]
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var sum float64
+			for l := 0; l < k; l++ {
+				sum += at(i, l) * bt(l, j)
+			}
+			c.Data[i*c.Stride+j] = beta*c.Data[i*c.Stride+j] + alpha*sum
+		}
+	}
+}
+
+// naiveSyrk computes C = beta*C + alpha*AᵀA elementwise.
+func naiveSyrk(alpha float64, a *Matrix, beta float64, c *Matrix) {
+	n := a.Cols
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var sum float64
+			for l := 0; l < a.Rows; l++ {
+				sum += a.Data[l*a.Stride+i] * a.Data[l*a.Stride+j]
+			}
+			c.Data[i*c.Stride+j] = beta*c.Data[i*c.Stride+j] + alpha*sum
+		}
+	}
+}
+
+// maxRelDiff returns max |got−want| / max(1, max|want|): an absolute
+// comparison for O(1)-magnitude data that degrades gracefully when
+// accumulated sums grow past 1.
+func maxRelDiff(got, want *Matrix) float64 {
+	var maxAbs, maxDiff float64
+	for i := 0; i < want.Rows; i++ {
+		for j := 0; j < want.Cols; j++ {
+			w := want.Data[i*want.Stride+j]
+			g := got.Data[i*got.Stride+j]
+			if a := abs(w); a > maxAbs {
+				maxAbs = a
+			}
+			if d := abs(g - w); d > maxDiff {
+				maxDiff = d
+			}
+		}
+	}
+	if maxAbs < 1 {
+		maxAbs = 1
+	}
+	return maxDiff / maxAbs
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// wellCondTriangular returns a unit-diagonal-dominant n×n triangular
+// matrix (lower when tri == Lower) whose solves stay well conditioned.
+func wellCondTriangular(n int, tri Triangle, seed int64) *Matrix {
+	t := RandomMatrix(n, n, seed)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			switch {
+			case i == j:
+				t.Data[i*t.Stride+j] = 2 + abs(t.Data[i*t.Stride+j])
+			case tri == Lower && j > i, tri == Upper && j < i:
+				t.Data[i*t.Stride+j] = 0
+			default:
+				t.Data[i*t.Stride+j] *= 0.5 / float64(n)
+			}
+		}
+	}
+	return t
+}

@@ -27,18 +27,23 @@ import (
 //	line 2: Bcast B along Π[x, :, z] with root y = z
 //	line 3: local multiply
 //	line 4: Allreduce along Π[x, y, :]
-func Multiply(cb *grid.Cube, aLocal, bLocal *lin.Matrix) (*lin.Matrix, error) {
-	return multiply(cb, aLocal, bLocal, false)
+//
+// workers bounds the goroutines the local multiply may use on top of the
+// simulated rank's own goroutine (≤ 1 = serial, the default for
+// simulated grids where the ranks already saturate the host). It changes
+// wall-clock only: results and charged flops are identical.
+func Multiply(cb *grid.Cube, aLocal, bLocal *lin.Matrix, workers int) (*lin.Matrix, error) {
+	return multiply(cb, aLocal, bLocal, false, workers)
 }
 
 // MultiplyTri is Multiply for a triangular right operand (R⁻¹, or a
 // triangular × triangular product): identical communication, but the
 // local multiply is charged at the TRMM rate (half the GEMM flops).
-func MultiplyTri(cb *grid.Cube, aLocal, bLocal *lin.Matrix) (*lin.Matrix, error) {
-	return multiply(cb, aLocal, bLocal, true)
+func MultiplyTri(cb *grid.Cube, aLocal, bLocal *lin.Matrix, workers int) (*lin.Matrix, error) {
+	return multiply(cb, aLocal, bLocal, true, workers)
 }
 
-func multiply(cb *grid.Cube, aLocal, bLocal *lin.Matrix, triangular bool) (*lin.Matrix, error) {
+func multiply(cb *grid.Cube, aLocal, bLocal *lin.Matrix, triangular bool, workers int) (*lin.Matrix, error) {
 	if aLocal.Cols != bLocal.Rows {
 		return nil, fmt.Errorf("mm3d: inner dimensions %d and %d differ", aLocal.Cols, bLocal.Rows)
 	}
@@ -70,8 +75,11 @@ func multiply(cb *grid.Cube, aLocal, bLocal *lin.Matrix, triangular bool) (*lin.
 		return nil, err
 	}
 
+	if workers < 1 {
+		workers = 1
+	}
 	z := lin.NewMatrix(w.Rows, y.Cols)
-	lin.Gemm(false, false, 1, w, y, 0, z)
+	lin.GemmParallel(workers, false, false, 1, w, y, 0, z)
 	flops := lin.GemmFlops(w.Rows, y.Cols, w.Cols)
 	if triangular {
 		// One operand is triangular: a TRMM-class multiply touches half

@@ -57,7 +57,7 @@ func TestMultiplyMatchesSequential(t *testing.T) {
 				if err != nil {
 					return err
 				}
-				cl, err := Multiply(cb, al, bl)
+				cl, err := Multiply(cb, al, bl, 1)
 				if err != nil {
 					return err
 				}
@@ -94,7 +94,7 @@ func TestMultiplyTallOperand(t *testing.T) {
 		if err != nil {
 			return err
 		}
-		cl, err := Multiply(cb, ad.Local, bl)
+		cl, err := Multiply(cb, ad.Local, bl, 1)
 		if err != nil {
 			return err
 		}
@@ -115,7 +115,7 @@ func TestMultiplyInnerDimMismatch(t *testing.T) {
 		if err != nil {
 			return err
 		}
-		_, err = Multiply(cb, lin.NewMatrix(2, 3), lin.NewMatrix(4, 2))
+		_, err = Multiply(cb, lin.NewMatrix(2, 3), lin.NewMatrix(4, 2), 1)
 		if err == nil {
 			return fmt.Errorf("mismatched inner dims accepted")
 		}
@@ -143,7 +143,7 @@ func TestMultiplyCostFormula(t *testing.T) {
 		if err != nil {
 			return err
 		}
-		_, err = Multiply(cb, al, bl)
+		_, err = Multiply(cb, al, bl, 1)
 		return err
 	})
 	p := e * e * e
@@ -189,9 +189,9 @@ func TestMultiplyTriHalvesFlopCharge(t *testing.T) {
 			}
 			var c *lin.Matrix
 			if tri {
-				c, err = MultiplyTri(cb, al, bl)
+				c, err = MultiplyTri(cb, al, bl, 1)
 			} else {
-				c, err = Multiply(cb, al, bl)
+				c, err = Multiply(cb, al, bl, 1)
 			}
 			if err != nil {
 				return err
@@ -274,7 +274,7 @@ func TestMultiplyIsReplicatedAcrossSlices(t *testing.T) {
 		if err != nil {
 			return err
 		}
-		cl, err := Multiply(cb, al, bl)
+		cl, err := Multiply(cb, al, bl, 1)
 		if err != nil {
 			return err
 		}

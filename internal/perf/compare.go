@@ -1,0 +1,45 @@
+package perf
+
+import "fmt"
+
+// Regression is one case that slowed past the tolerance versus baseline.
+type Regression struct {
+	Name       string
+	BaselineNs float64
+	CurrentNs  float64
+	Ratio      float64
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f ns/op (%.2fx)", r.Name, r.CurrentNs, r.BaselineNs, r.Ratio)
+}
+
+// Compare matches current results against baseline by case name and
+// returns the cases whose ns/op exceeded baseline·tolerance, plus the
+// baseline case names absent from the current report (a renamed or
+// dropped case silently losing coverage should be visible, not fatal).
+// Baselines recorded in a different mode (quick vs full) share no case
+// names, so everything lands in missing — callers should treat a fully
+// missing baseline as a configuration error.
+func Compare(baseline, current *Report, tolerance float64) (regs []Regression, missing []string) {
+	cur := make(map[string]Result, len(current.Results))
+	for _, r := range current.Results {
+		cur[r.Name] = r
+	}
+	for _, b := range baseline.Results {
+		c, ok := cur[b.Name]
+		if !ok {
+			missing = append(missing, b.Name)
+			continue
+		}
+		if b.NsPerOp > 0 && c.NsPerOp > b.NsPerOp*tolerance {
+			regs = append(regs, Regression{
+				Name:       b.Name,
+				BaselineNs: b.NsPerOp,
+				CurrentNs:  c.NsPerOp,
+				Ratio:      c.NsPerOp / b.NsPerOp,
+			})
+		}
+	}
+	return regs, missing
+}

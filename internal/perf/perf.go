@@ -1,0 +1,148 @@
+// Package perf is the reproducible performance harness behind cmd/bench:
+// a fixed suite of paper-shape factorizations and kernel workloads, each
+// measured into a machine-readable result (ns/op, GFLOP/s, and — for the
+// distributed cases — the per-processor communication actually charged
+// by the simulated runtime). Suites are deterministic: fixed seeds,
+// fixed shapes, and kernels whose parallel execution is bitwise
+// identical to serial, so run-to-run differences are wall-clock only.
+//
+// The emitted report (BENCH_results.json) is the PR-over-PR perf
+// trajectory: CI regenerates it on every push, uploads it as an
+// artifact, and fails when a case regresses past the tolerance against
+// the checked-in BENCH_baseline.json.
+package perf
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// Stats is the communication a distributed case charged, in the paper's
+// per-processor critical-path units. Zero for sequential cases.
+type Stats struct {
+	Msgs  int64
+	Words int64
+}
+
+// Case is one suite entry: a named workload, its model flop count per
+// operation (for GFLOP/s), and a Run closure performing one operation.
+type Case struct {
+	Name  string
+	Flops int64
+	Run   func() (Stats, error)
+}
+
+// Result is the measurement of one Case, shaped for BENCH_results.json.
+type Result struct {
+	Name       string  `json:"name"`
+	Iters      int     `json:"iters"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	GFlops     float64 `json:"gflops"`
+	FlopsPerOp int64   `json:"flops_per_op"`
+	MsgsPerOp  int64   `json:"msgs_per_proc"`
+	WordsPerOp int64   `json:"words_per_proc"`
+	BytesComm  int64   `json:"bytes_communicated"`
+}
+
+// Report is the full suite outcome plus enough host metadata to judge
+// whether two reports are comparable.
+type Report struct {
+	Schema     string   `json:"schema"`
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	NumCPU     int      `json:"num_cpu"`
+	GoMaxProcs int      `json:"gomaxprocs"`
+	Quick      bool     `json:"quick"`
+	Workers    int      `json:"workers"`
+	Results    []Result `json:"results"`
+}
+
+// Schema identifies the report layout; bump on incompatible change.
+const Schema = "cacqr/bench/v1"
+
+// Measure times one case: a warm-up op, then whole operations until
+// minTime has elapsed (capped at maxIters). NsPerOp is the MINIMUM
+// single-op time, not the mean: the minimum estimates the workload's
+// floor and shrugs off scheduler noise on shared CI runners, which a
+// 25% regression gate on a mean could never survive. Communication
+// stats are taken from the final operation — the suite is
+// deterministic, so every operation charges the same amounts.
+func Measure(c Case, minTime time.Duration, maxIters int) (Result, error) {
+	if maxIters < 1 {
+		maxIters = 1
+	}
+	if _, err := c.Run(); err != nil {
+		return Result{}, fmt.Errorf("perf: %s warm-up: %w", c.Name, err)
+	}
+	var (
+		iters   int
+		elapsed time.Duration
+		best    time.Duration
+		stats   Stats
+	)
+	for iters == 0 || (elapsed < minTime && iters < maxIters) {
+		start := time.Now()
+		st, err := c.Run()
+		if err != nil {
+			return Result{}, fmt.Errorf("perf: %s: %w", c.Name, err)
+		}
+		op := time.Since(start)
+		elapsed += op
+		if iters == 0 || op < best {
+			best = op
+		}
+		stats = st
+		iters++
+	}
+	ns := float64(best.Nanoseconds())
+	res := Result{
+		Name:       c.Name,
+		Iters:      iters,
+		NsPerOp:    ns,
+		FlopsPerOp: c.Flops,
+		MsgsPerOp:  stats.Msgs,
+		WordsPerOp: stats.Words,
+		BytesComm:  stats.Words * 8,
+	}
+	if ns > 0 {
+		res.GFlops = float64(c.Flops) / ns
+	}
+	return res, nil
+}
+
+// RunSuite measures the fixed suite. quick selects the CI-sized shapes;
+// workers is the Options.Workers knob handed to the factorization cases
+// (kernel cases exercise both serial and parallel paths explicitly).
+// Progress lines go through logf when non-nil.
+func RunSuite(quick bool, workers int, logf func(format string, args ...any)) (*Report, error) {
+	minTime := time.Second
+	maxIters := 20
+	if quick {
+		minTime = 300 * time.Millisecond
+		maxIters = 10
+	}
+	cases := Suite(quick, workers)
+	rep := &Report{
+		Schema:     Schema,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Quick:      quick,
+		Workers:    workers,
+	}
+	for _, c := range cases {
+		res, err := Measure(c, minTime, maxIters)
+		if err != nil {
+			return nil, err
+		}
+		if logf != nil {
+			logf("%-32s %12.0f ns/op  %7.2f GFLOP/s  %10d bytes comm", res.Name, res.NsPerOp, res.GFlops, res.BytesComm)
+		}
+		rep.Results = append(rep.Results, res)
+	}
+	return rep, nil
+}

@@ -1,0 +1,123 @@
+package perf
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestMeasureCountsAndStats(t *testing.T) {
+	calls := 0
+	c := Case{
+		Name:  "stub",
+		Flops: 1000,
+		Run: func() (Stats, error) {
+			calls++
+			return Stats{Msgs: 3, Words: 7}, nil
+		},
+	}
+	res, err := Measure(c, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero minTime: one warm-up call plus exactly one measured iter.
+	if calls != 2 || res.Iters != 1 {
+		t.Fatalf("calls=%d iters=%d, want 2 and 1", calls, res.Iters)
+	}
+	if res.MsgsPerOp != 3 || res.WordsPerOp != 7 || res.BytesComm != 56 {
+		t.Fatalf("stats not carried through: %+v", res)
+	}
+	if res.FlopsPerOp != 1000 {
+		t.Fatalf("flops %d", res.FlopsPerOp)
+	}
+}
+
+func TestMeasurePropagatesErrors(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := Measure(Case{Name: "bad", Run: func() (Stats, error) { return Stats{}, boom }}, time.Millisecond, 2)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSuiteNamesUniqueAndRunnable(t *testing.T) {
+	for _, quick := range []bool{true, false} {
+		seen := map[string]bool{}
+		for _, c := range Suite(quick, 0) {
+			if seen[c.Name] {
+				t.Fatalf("duplicate case name %q (quick=%v)", c.Name, quick)
+			}
+			seen[c.Name] = true
+			if c.Flops <= 0 {
+				t.Fatalf("case %q has no flop count", c.Name)
+			}
+		}
+	}
+}
+
+// TestQuickSuiteSmoke runs each quick case exactly once end to end: the
+// suite must produce valid measurements, and the distributed cases must
+// report the communication the simulated runtime charged.
+func TestQuickSuiteSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick suite takes a few seconds")
+	}
+	for _, c := range Suite(true, 0) {
+		res, err := Measure(c, 0, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		if res.NsPerOp <= 0 || res.GFlops <= 0 {
+			t.Fatalf("%s: implausible measurement %+v", c.Name, res)
+		}
+		switch c.Name[:4] {
+		case "cacq", "tsqr":
+			if res.BytesComm <= 0 {
+				t.Fatalf("%s: distributed case reported no communication", c.Name)
+			}
+		}
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	rep := &Report{
+		Schema: Schema, GoVersion: "go1.21", GOOS: "linux", GOARCH: "amd64",
+		NumCPU: 4, GoMaxProcs: 4, Quick: true,
+		Results: []Result{{Name: "x", Iters: 2, NsPerOp: 1.5e6, GFlops: 2.5, FlopsPerOp: 100, MsgsPerOp: 1, WordsPerOp: 2, BytesComm: 16}},
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Results[0] != rep.Results[0] || back.Schema != Schema {
+		t.Fatalf("round trip mangled the report: %+v", back)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := &Report{Schema: Schema, Results: []Result{
+		{Name: "a", NsPerOp: 100},
+		{Name: "b", NsPerOp: 100},
+		{Name: "gone", NsPerOp: 100},
+	}}
+	cur := &Report{Schema: Schema, Results: []Result{
+		{Name: "a", NsPerOp: 120}, // within 25%
+		{Name: "b", NsPerOp: 126}, // regressed
+		{Name: "new", NsPerOp: 50},
+	}}
+	regs, missing := Compare(base, cur, 1.25)
+	if len(regs) != 1 || regs[0].Name != "b" {
+		t.Fatalf("regs = %+v", regs)
+	}
+	if regs[0].Ratio < 1.25 || regs[0].Ratio > 1.27 {
+		t.Fatalf("ratio = %v", regs[0].Ratio)
+	}
+	if len(missing) != 1 || missing[0] != "gone" {
+		t.Fatalf("missing = %v", missing)
+	}
+}

@@ -1,0 +1,161 @@
+package perf
+
+import (
+	"strconv"
+
+	"cacqr"
+	"cacqr/internal/lin"
+)
+
+// Suite returns the fixed benchmark suite. Every case is deterministic
+// (fixed seeds and shapes); quick selects smaller CI-sized instances of
+// the same workloads, so quick and full reports are internally
+// consistent but not comparable with each other.
+//
+// The factorization shapes mirror the paper's experiment families:
+// a tall-skinny 1D grid (c = 1), the tunable c × d × c grid, and the
+// binary-tree TSQR baseline, alongside the sequential CholeskyQR2 and
+// the local level-3 kernels everything above is built from.
+func Suite(quick bool, workers int) []Case {
+	// Kernel shapes: tall-output GEMM (the Q = A·R⁻¹ apply shape), the
+	// Gram SYRK, and the triangular solve.
+	gm, gn, gk := 1024, 1024, 64
+	sm, sn := 4096, 256
+	// Factorization shapes (m, n, grid):
+	seqM, seqN := 16384, 128
+	d1M, d1N, d1P := 16384, 64, 16
+	d3M, d3N, d3C, d3D := 4096, 128, 2, 8
+	tsM, tsN, tsP := 16384, 64, 16
+	if quick {
+		gm, gn, gk = 512, 512, 64
+		sm, sn = 1024, 128
+		seqM, seqN = 2048, 64
+		d1M, d1N, d1P = 4096, 32, 8
+		d3M, d3N, d3C, d3D = 1024, 64, 2, 4
+		tsM, tsN, tsP = 4096, 32, 8
+	}
+
+	ga := lin.RandomMatrix(gm, gk, 201)
+	gb := lin.RandomMatrix(gk, gn, 202)
+	gc := lin.NewMatrix(gm, gn)
+	sa := lin.RandomMatrix(sm, sn, 203)
+	sc := lin.NewMatrix(sn, sn)
+	ta := upperFromGram(sn, 204)
+	tb := lin.RandomMatrix(sm, sn, 205)
+
+	seqA := cacqr.RandomMatrix(seqM, seqN, 206)
+	d1A := cacqr.RandomMatrix(d1M, d1N, 207)
+	d3A := cacqr.RandomMatrix(d3M, d3N, 208)
+	tsA := cacqr.RandomMatrix(tsM, tsN, 209)
+	opts := cacqr.Options{Workers: workers}
+
+	nameSz := func(base string, dims ...int) string {
+		s := base
+		for _, d := range dims {
+			s += "-" + itoa(d)
+		}
+		return s
+	}
+
+	return []Case{
+		{
+			Name:  nameSz("gemm-blocked", gm, gn, gk),
+			Flops: lin.GemmFlops(gm, gn, gk),
+			Run: func() (Stats, error) {
+				lin.Gemm(false, false, 1, ga, gb, 0, gc)
+				return Stats{}, nil
+			},
+		},
+		{
+			Name:  nameSz("gemm-parallel", gm, gn, gk),
+			Flops: lin.GemmFlops(gm, gn, gk),
+			Run: func() (Stats, error) {
+				lin.GemmParallel(0, false, false, 1, ga, gb, 0, gc)
+				return Stats{}, nil
+			},
+		},
+		{
+			Name:  nameSz("syrk-parallel", sm, sn),
+			Flops: lin.SyrkFlops(sm, sn),
+			Run: func() (Stats, error) {
+				lin.SyrkParallel(0, 1, sa, 0, sc)
+				return Stats{}, nil
+			},
+		},
+		{
+			Name:  nameSz("trsm-parallel", sm, sn),
+			Flops: lin.TrsmFlops(sm, sn),
+			Run: func() (Stats, error) {
+				x := tb.Clone()
+				lin.TrsmParallel(0, lin.Right, lin.Upper, false, ta, x)
+				return Stats{}, nil
+			},
+		},
+		{
+			Name:  nameSz("seq-cqr2", seqM, seqN),
+			Flops: lin.CQR2Flops(seqM, seqN),
+			Run: func() (Stats, error) {
+				_, _, err := cacqr.CholeskyQR2(seqA)
+				return Stats{}, err
+			},
+		},
+		{
+			Name:  nameSz("cacqr2-1d", d1M, d1N) + "-p" + itoa(d1P),
+			Flops: lin.CQR2Flops(d1M, d1N),
+			Run: func() (Stats, error) {
+				res, err := cacqr.FactorizeOnGrid(d1A, cacqr.GridSpec{C: 1, D: d1P}, opts)
+				if err != nil {
+					return Stats{}, err
+				}
+				return Stats{Msgs: res.Stats.Msgs, Words: res.Stats.Words}, nil
+			},
+		},
+		{
+			Name:  nameSz("cacqr2-3d", d3M, d3N) + "-c" + itoa(d3C) + "-d" + itoa(d3D),
+			Flops: lin.CQR2Flops(d3M, d3N),
+			Run: func() (Stats, error) {
+				res, err := cacqr.FactorizeOnGrid(d3A, cacqr.GridSpec{C: d3C, D: d3D}, opts)
+				if err != nil {
+					return Stats{}, err
+				}
+				return Stats{Msgs: res.Stats.Msgs, Words: res.Stats.Words}, nil
+			},
+		},
+		{
+			Name:  nameSz("tsqr", tsM, tsN) + "-p" + itoa(tsP),
+			Flops: lin.HouseholderQRFlops(tsM, tsN),
+			Run: func() (Stats, error) {
+				res, err := cacqr.FactorizeTSQR(tsA, tsP, 0, opts)
+				if err != nil {
+					return Stats{}, err
+				}
+				return Stats{Msgs: res.Stats.Msgs, Words: res.Stats.Words}, nil
+			},
+		},
+	}
+}
+
+// upperFromGram builds a well-conditioned n×n upper-triangular solve
+// target (the Cholesky factor of a Gram matrix plus a diagonal shift).
+func upperFromGram(n int, seed int64) *lin.Matrix {
+	t := lin.RandomMatrix(n, n, seed)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			switch {
+			case i == j:
+				v := t.At(i, j)
+				if v < 0 {
+					v = -v
+				}
+				t.Set(i, j, 2+v)
+			case j < i:
+				t.Set(i, j, 0)
+			default:
+				t.Set(i, j, t.At(i, j)*0.5/float64(n))
+			}
+		}
+	}
+	return t
+}
+
+func itoa(v int) string { return strconv.Itoa(v) }

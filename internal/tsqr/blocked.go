@@ -24,7 +24,12 @@ import (
 // doubles as a second stable baseline next to PGEQRF.
 //
 // Returns this rank's m/P × n block of Q and the replicated n×n R.
-func BlockedFactor(comm *simmpi.Comm, aLocal *lin.Matrix, m, n, b int) (qLocal, r *lin.Matrix, err error) {
+// workers is threaded to the per-panel Factor calls and the local BGS2
+// products (≤ 1 = serial).
+func BlockedFactor(comm *simmpi.Comm, aLocal *lin.Matrix, m, n, b, workers int) (qLocal, r *lin.Matrix, err error) {
+	if workers < 1 {
+		workers = 1
+	}
 	p := comm.Size()
 	if b < 1 || n%b != 0 {
 		return nil, nil, fmt.Errorf("tsqr: panel width %d must divide n=%d", b, n)
@@ -44,7 +49,7 @@ func BlockedFactor(comm *simmpi.Comm, aLocal *lin.Matrix, m, n, b int) (qLocal, 
 	np := n / b
 	for k := 0; k < np; k++ {
 		panel := work.View(0, k*b, work.Rows, b).Clone()
-		qk, rkk, err := Factor(comm, panel, m, b)
+		qk, rkk, err := Factor(comm, panel, m, b, workers)
 		if err != nil {
 			return nil, nil, fmt.Errorf("tsqr: panel %d: %w", k, err)
 		}
@@ -61,7 +66,7 @@ func BlockedFactor(comm *simmpi.Comm, aLocal *lin.Matrix, m, n, b int) (qLocal, 
 		rkRest := lin.NewMatrix(b, rest)
 		for pass := 0; pass < 2; pass++ {
 			partial := lin.NewMatrix(b, rest)
-			lin.Gemm(true, false, 1, qk, restView, 0, partial)
+			lin.GemmParallel(workers, true, false, 1, qk, restView, 0, partial)
 			if err := proc.Compute(lin.GemmFlops(b, rest, qk.Rows)); err != nil {
 				return nil, nil, err
 			}
@@ -74,7 +79,7 @@ func BlockedFactor(comm *simmpi.Comm, aLocal *lin.Matrix, m, n, b int) (qLocal, 
 				return nil, nil, err
 			}
 			rkRest.Add(coeff)
-			lin.Gemm(false, false, -1, qk, coeff, 1, restView)
+			lin.GemmParallel(workers, false, false, -1, qk, coeff, 1, restView)
 			if err := proc.Compute(lin.GemmFlops(qk.Rows, rest, b)); err != nil {
 				return nil, nil, err
 			}

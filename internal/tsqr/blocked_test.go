@@ -15,7 +15,7 @@ func runBlocked(t *testing.T, p, m, n, b int, a *lin.Matrix) {
 	t.Helper()
 	_, err := simmpi.RunWithOptions(p, simmpi.Options{Timeout: 240 * time.Second}, func(pr *simmpi.Proc) error {
 		local := a.View(pr.Rank()*(m/p), 0, m/p, n).Clone()
-		q, r, err := BlockedFactor(pr.World(), local, m, n, b)
+		q, r, err := BlockedFactor(pr.World(), local, m, n, b, 1)
 		if err != nil {
 			return err
 		}
@@ -64,10 +64,10 @@ func TestBlockedFactorWidensTSQRRange(t *testing.T) {
 	a := lin.RandomMatrix(m, n, 7)
 	_, err := simmpi.RunWithOptions(p, simmpi.Options{Timeout: 120 * time.Second}, func(pr *simmpi.Proc) error {
 		local := a.View(pr.Rank()*(m/p), 0, m/p, n).Clone()
-		if _, _, err := Factor(pr.World(), local, m, n); err == nil {
+		if _, _, err := Factor(pr.World(), local, m, n, 1); err == nil {
 			return errors.New("plain TSQR accepted m/P < n")
 		}
-		_, _, err := BlockedFactor(pr.World(), local, m, n, b)
+		_, _, err := BlockedFactor(pr.World(), local, m, n, b, 1)
 		return err
 	})
 	if err != nil {
@@ -84,7 +84,7 @@ func TestBlockedFactorMatchesSequentialR(t *testing.T) {
 	}
 	_, err = simmpi.RunWithOptions(p, simmpi.Options{Timeout: 120 * time.Second}, func(pr *simmpi.Proc) error {
 		local := a.View(pr.Rank()*(m/p), 0, m/p, n).Clone()
-		_, r, err := BlockedFactor(pr.World(), local, m, n, b)
+		_, r, err := BlockedFactor(pr.World(), local, m, n, b, 1)
 		if err != nil {
 			return err
 		}
@@ -108,10 +108,10 @@ func TestBlockedFactorIllConditioned(t *testing.T) {
 
 func TestBlockedFactorValidation(t *testing.T) {
 	_, err := simmpi.RunWithOptions(2, simmpi.Options{Timeout: 30 * time.Second}, func(pr *simmpi.Proc) error {
-		if _, _, err := BlockedFactor(pr.World(), lin.NewMatrix(4, 6), 8, 6, 4); err == nil {
+		if _, _, err := BlockedFactor(pr.World(), lin.NewMatrix(4, 6), 8, 6, 4, 1); err == nil {
 			return errors.New("b∤n accepted")
 		}
-		if _, _, err := BlockedFactor(pr.World(), lin.NewMatrix(2, 4), 4, 4, 4); err == nil {
+		if _, _, err := BlockedFactor(pr.World(), lin.NewMatrix(2, 4), 4, 4, 4, 1); err == nil {
 			return errors.New("m/P < b accepted")
 		}
 		return nil

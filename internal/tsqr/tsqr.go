@@ -24,7 +24,14 @@ const (
 // are pushed back so every rank can assemble its explicit Q block.
 // Per-processor cost: 2·log₂P messages, ~2·log₂P·n² words, and
 // 2(m/P)n² + O(n³·log P) flops.
-func Factor(comm *simmpi.Comm, aLocal *lin.Matrix, m, n int) (qLocal, r *lin.Matrix, err error) {
+//
+// workers bounds the goroutines each rank's local level-3 kernels may
+// use (≤ 1 = serial, the right default for simulated grids). Results are
+// identical for any value.
+func Factor(comm *simmpi.Comm, aLocal *lin.Matrix, m, n, workers int) (qLocal, r *lin.Matrix, err error) {
+	if workers < 1 {
+		workers = 1
+	}
 	p := comm.Size()
 	if m%p != 0 {
 		return nil, nil, fmt.Errorf("tsqr: m=%d not divisible by P=%d", m, p)
@@ -114,8 +121,8 @@ func Factor(comm *simmpi.Comm, aLocal *lin.Matrix, m, n int) (qLocal, r *lin.Mat
 			path = path[:len(path)-1]
 			top := node.q.View(0, 0, n, n)
 			bot := node.q.View(n, 0, n, n)
-			bTop := lin.MatMul(top.Clone(), b)
-			bBot := lin.MatMul(bot.Clone(), b)
+			bTop := lin.MatMulParallel(workers, top.Clone(), b)
+			bBot := lin.MatMulParallel(workers, bot.Clone(), b)
 			if err := proc.Compute(2 * lin.GemmFlops(n, n, n)); err != nil {
 				return nil, nil, err
 			}
@@ -150,7 +157,7 @@ func Factor(comm *simmpi.Comm, aLocal *lin.Matrix, m, n int) (qLocal, r *lin.Mat
 		return nil, nil, err
 	}
 
-	q := lin.MatMul(qLoc, b)
+	q := lin.MatMulParallel(workers, qLoc, b)
 	if err := proc.Compute(lin.GemmFlops(aLocal.Rows, n, n)); err != nil {
 		return nil, nil, err
 	}

@@ -15,7 +15,7 @@ func runTSQR(t *testing.T, p, m, n int, a *lin.Matrix) *simmpi.Stats {
 	t.Helper()
 	st, err := simmpi.RunWithOptions(p, simmpi.Options{Timeout: 120 * time.Second}, func(pr *simmpi.Proc) error {
 		local := a.View(pr.Rank()*(m/p), 0, m/p, n).Clone()
-		q, r, err := Factor(pr.World(), local, m, n)
+		q, r, err := Factor(pr.World(), local, m, n, 1)
 		if err != nil {
 			return err
 		}
@@ -73,7 +73,7 @@ func TestFactorMatchesSequentialR(t *testing.T) {
 	}
 	_, err = simmpi.RunWithOptions(p, simmpi.Options{Timeout: 60 * time.Second}, func(pr *simmpi.Proc) error {
 		local := a.View(pr.Rank()*(m/p), 0, m/p, n).Clone()
-		_, r, err := Factor(pr.World(), local, m, n)
+		_, r, err := Factor(pr.World(), local, m, n, 1)
 		if err != nil {
 			return err
 		}
@@ -98,7 +98,7 @@ func TestFactorIllConditionedStable(t *testing.T) {
 func TestFactorValidation(t *testing.T) {
 	_, err := simmpi.RunWithOptions(3, simmpi.Options{Timeout: 30 * time.Second}, func(pr *simmpi.Proc) error {
 		// Non-power-of-two P.
-		if _, _, err := Factor(pr.World(), lin.NewMatrix(4, 2), 12, 2); err == nil {
+		if _, _, err := Factor(pr.World(), lin.NewMatrix(4, 2), 12, 2, 1); err == nil {
 			return errors.New("P=3 accepted")
 		}
 		return nil
@@ -108,11 +108,11 @@ func TestFactorValidation(t *testing.T) {
 	}
 	_, err = simmpi.RunWithOptions(2, simmpi.Options{Timeout: 30 * time.Second}, func(pr *simmpi.Proc) error {
 		// m not divisible.
-		if _, _, err := Factor(pr.World(), lin.NewMatrix(3, 2), 7, 2); err == nil {
+		if _, _, err := Factor(pr.World(), lin.NewMatrix(3, 2), 7, 2, 1); err == nil {
 			return errors.New("indivisible m accepted")
 		}
 		// Local block not tall enough.
-		if _, _, err := Factor(pr.World(), lin.NewMatrix(2, 4), 4, 4); err == nil {
+		if _, _, err := Factor(pr.World(), lin.NewMatrix(2, 4), 4, 4, 1); err == nil {
 			return errors.New("short local block accepted")
 		}
 		return nil
@@ -133,7 +133,7 @@ func TestCommunicationScalesLogarithmically(t *testing.T) {
 			Timeout: 60 * time.Second,
 		}, func(pr *simmpi.Proc) error {
 			local := a.View(pr.Rank()*(m/p), 0, m/p, n).Clone()
-			_, _, err := Factor(pr.World(), local, m, n)
+			_, _, err := Factor(pr.World(), local, m, n, 1)
 			return err
 		})
 		if err != nil {
