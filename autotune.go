@@ -1,0 +1,122 @@
+package cacqr
+
+import (
+	"fmt"
+
+	"cacqr/internal/plan"
+)
+
+// Plan is one priced candidate from the autotuning planner: an algorithm
+// variant, its grid, the modeled α-β-γ cost and per-rank memory
+// footprint, the predicted time on the planning machine, and a
+// human-readable rationale.
+type Plan = plan.Plan
+
+// Variant names an algorithm the planner can select.
+type Variant = plan.Variant
+
+// The planner's algorithm variants.
+const (
+	VariantSequential  = plan.Sequential
+	Variant1DCQR2      = plan.OneD
+	VariantCACQR2      = plan.CACQR2
+	VariantPanelCACQR2 = plan.PanelCACQR2
+	VariantTSQR        = plan.TSQR
+	VariantPGEQRF      = plan.PGEQRF
+)
+
+// planRequest translates the public knobs into a planner request.
+func planRequest(m, n, procs int, opts Options) plan.Request {
+	req := plan.Request{
+		M: m, N: n, Procs: procs,
+		MemBudget:        opts.MemBudget,
+		InverseDepth:     opts.InverseDepth,
+		BaseSize:         opts.BaseSize,
+		IncludeBaselines: opts.IncludeBaselines,
+	}
+	if opts.PlanMachine != nil {
+		req.Machine = *opts.PlanMachine
+	}
+	return req
+}
+
+// PlanGrid enumerates every feasible algorithm variant and grid for an
+// m×n matrix on up to procs simulated ranks and returns them ranked by
+// predicted time under the planning machine (Options.PlanMachine, nil =
+// Stampede2). Options.MemBudget, when > 0, rejects plans whose modeled
+// per-rank footprint exceeds that many bytes. The cost predictions are
+// the same validated recurrences the simulated runtime is tested
+// against, so the winning plan's Cost is what a run will actually
+// charge (plus the final gather).
+func PlanGrid(m, n, procs int, opts Options) ([]Plan, error) {
+	if err := checkWorkers(opts); err != nil {
+		return nil, err
+	}
+	return plan.Enumerate(planRequest(m, n, procs, opts))
+}
+
+// AutoFactorize factors A = Q·R on up to procs simulated ranks, letting
+// the planner choose the algorithm variant and grid: it ranks every
+// feasible candidate with the validated cost model and dispatches to the
+// winner (CA-CQR2 on its c×d×c grid, the panel variant, 1D-CQR2,
+// sequential, or the TSQR fallback for extreme shapes). The executed
+// plan is recorded in Result.Plan. Options.PanelWidth is ignored — the
+// planner owns that choice; InverseDepth and BaseSize are forwarded to
+// both the model and the run.
+func AutoFactorize(a *Dense, procs int, opts Options) (*Result, error) {
+	if err := checkWorkers(opts); err != nil {
+		return nil, err
+	}
+	best, err := plan.Best(planRequest(a.Rows, a.Cols, procs, opts))
+	if err != nil {
+		return nil, err
+	}
+	return FactorizePlan(a, best, opts)
+}
+
+// FactorizePlan executes one planner-produced plan (from PlanGrid)
+// without re-running the enumeration — the path for callers that want
+// to inspect or re-rank the candidate list before committing, or to
+// reuse a cached plan across same-shaped matrices. The executed plan is
+// recorded in Result.Plan. Baseline reference rows are not executable.
+func FactorizePlan(a *Dense, p Plan, opts Options) (*Result, error) {
+	if err := checkWorkers(opts); err != nil {
+		return nil, err
+	}
+	res, err := dispatch(a, p, opts)
+	if err != nil {
+		return nil, err
+	}
+	res.Plan = &p
+	return res, nil
+}
+
+// dispatch executes a planner-selected variant.
+func dispatch(a *Dense, p Plan, opts Options) (*Result, error) {
+	opts.PanelWidth = 0
+	switch p.Variant {
+	case plan.Sequential:
+		return Factorize1D(a, 1, opts)
+	case plan.OneD:
+		return Factorize1D(a, p.Procs, opts)
+	case plan.CACQR2:
+		return FactorizeOnGrid(a, GridSpec{C: p.C, D: p.D}, opts)
+	case plan.PanelCACQR2:
+		opts.PanelWidth = p.PanelWidth
+		return FactorizeOnGrid(a, GridSpec{C: p.C, D: p.D}, opts)
+	case plan.TSQR:
+		return FactorizeTSQR(a, p.Procs, 0, opts)
+	default:
+		return nil, fmt.Errorf("cacqr: plan variant %q is not executable", p.Variant)
+	}
+}
+
+// checkWorkers rejects a negative Workers knob up front — every
+// simulated entry point shares this validation, so misuse is an error,
+// never a panic.
+func checkWorkers(opts Options) error {
+	if opts.Workers < 0 {
+		return fmt.Errorf("cacqr: negative Workers %d (0 = per-rank serial)", opts.Workers)
+	}
+	return nil
+}

@@ -1,0 +1,255 @@
+package cacqr
+
+import (
+	"math"
+	"testing"
+
+	"cacqr/internal/costmodel"
+)
+
+// TestAutoFactorizeEndToEnd is the acceptance scenario: a seeded
+// 1024×64 matrix, p ∈ {8, 64}. The factors must meet the same
+// tolerances as the FactorizeOnGrid tests, and the planner's predicted
+// cost must match the simulated runtime's measured cost exactly up to
+// the final Q Allgather (the validation contract the fixed-grid tests
+// already enforce).
+func TestAutoFactorizeEndToEnd(t *testing.T) {
+	a := RandomMatrix(1024, 64, 42)
+	for _, procs := range []int{8, 64} {
+		res, err := AutoFactorize(a, procs, Options{})
+		if err != nil {
+			t.Fatalf("p=%d: %v", procs, err)
+		}
+		if res.Plan == nil {
+			t.Fatalf("p=%d: no plan recorded", procs)
+		}
+		if e := OrthogonalityError(res.Q); e > 1e-11 {
+			t.Fatalf("p=%d (%s): orthogonality %g", procs, res.Plan.Variant, e)
+		}
+		if e := ResidualNorm(a, res.Q, res.R); e > 1e-11 {
+			t.Fatalf("p=%d (%s): residual %g", procs, res.Plan.Variant, e)
+		}
+		if res.Plan.Procs > procs {
+			t.Fatalf("p=%d: plan uses %d ranks", procs, res.Plan.Procs)
+		}
+		// The tall 1024×64 shape is the paper's 1D regime.
+		if res.Plan.Variant != Variant1DCQR2 {
+			t.Fatalf("p=%d: expected the 1D regime, got %v", procs, res.Plan)
+		}
+		// Measured vs predicted: flops are exactly the model's (the
+		// gather moves data, not flops); communication is the model plus
+		// exactly the final Q Allgather.
+		if res.Stats.Flops != res.Plan.Cost.TotalFlops() {
+			t.Fatalf("p=%d: measured flops %d != predicted %d", procs, res.Stats.Flops, res.Plan.Cost.TotalFlops())
+		}
+		gather := costmodel.Allgather(int64(1024*64), res.Plan.Procs)
+		if res.Stats.Msgs != res.Plan.Cost.Msgs+gather.Msgs {
+			t.Fatalf("p=%d: measured msgs %d != predicted %d + gather %d",
+				procs, res.Stats.Msgs, res.Plan.Cost.Msgs, gather.Msgs)
+		}
+		if res.Stats.Words != res.Plan.Cost.Words+gather.Words {
+			t.Fatalf("p=%d: measured words %d != predicted %d + gather %d",
+				procs, res.Stats.Words, res.Plan.Cost.Words, gather.Words)
+		}
+	}
+}
+
+// TestAutoFactorizeDispatchesGridVariant forces the planner into the
+// c × d × c family: a bandwidth-starved machine makes replication
+// attractive and a per-rank memory budget rules out the comm-free
+// sequential and 1D plans (whose footprint is the whole matrix or a
+// full row block).
+func TestAutoFactorizeDispatchesGridVariant(t *testing.T) {
+	bw := Machine{Name: "bw-bound", AlphaSec: 1e-9, InjBandwidth: 1e6,
+		PeakNodeFlops: 1e13, PPN: 1, Duplex: 1, GemmEff: 1, UpdateEff: 1, PanelEff: 1}
+	a := RandomMatrix(128, 64, 7)
+	res, err := AutoFactorize(a, 64, Options{PlanMachine: &bw, MemBudget: 30000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan.Variant != VariantCACQR2 && res.Plan.Variant != VariantPanelCACQR2 {
+		t.Fatalf("budgeted bandwidth-bound plan is %v, want a grid-family variant", res.Plan)
+	}
+	if res.Plan.C < 2 {
+		t.Fatalf("grid plan has c=%d", res.Plan.C)
+	}
+	if res.Plan.MemBytes() > 30000 {
+		t.Fatalf("plan footprint %d over budget", res.Plan.MemBytes())
+	}
+	if e := OrthogonalityError(res.Q); e > 1e-10 {
+		t.Fatalf("orthogonality %g", e)
+	}
+	if e := ResidualNorm(a, res.Q, res.R); e > 1e-10 {
+		t.Fatalf("residual %g", e)
+	}
+	if res.Stats.Flops != res.Plan.Cost.TotalFlops() {
+		t.Fatalf("measured flops %d != predicted %d", res.Stats.Flops, res.Plan.Cost.TotalFlops())
+	}
+	if res.Stats.Msgs < res.Plan.Cost.Msgs || res.Stats.Words < res.Plan.Cost.Words {
+		t.Fatalf("measured comm (%d, %d) below prediction (%d, %d)",
+			res.Stats.Msgs, res.Stats.Words, res.Plan.Cost.Msgs, res.Plan.Cost.Words)
+	}
+}
+
+func TestAutoFactorizeSequentialOnOneRank(t *testing.T) {
+	a := RandomMatrix(96, 12, 3)
+	res, err := AutoFactorize(a, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan.Variant != VariantSequential || res.Plan.Procs != 1 {
+		t.Fatalf("p=1 plan: %v", res.Plan)
+	}
+	if e := ResidualNorm(a, res.Q, res.R); e > 1e-12 {
+		t.Fatalf("residual %g", e)
+	}
+	if res.Stats.Flops != res.Plan.Cost.TotalFlops() {
+		t.Fatalf("measured flops %d != predicted %d", res.Stats.Flops, res.Plan.Cost.TotalFlops())
+	}
+	if res.Stats.Words != 0 || res.Stats.Msgs != 0 {
+		t.Fatalf("sequential run communicated: %+v", res.Stats)
+	}
+}
+
+func TestFactorize1D(t *testing.T) {
+	a := RandomMatrix(256, 16, 11)
+	res, err := Factorize1D(a, 8, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := OrthogonalityError(res.Q); e > 1e-12 {
+		t.Fatalf("orthogonality %g", e)
+	}
+	if e := ResidualNorm(a, res.Q, res.R); e > 1e-12 {
+		t.Fatalf("residual %g", e)
+	}
+	// R agrees with the sequential reference (unique for positive diag).
+	_, r, err := CholeskyQR2(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r.Data {
+		if math.Abs(r.Data[i]-res.R.Data[i]) > 1e-9 {
+			t.Fatalf("R element %d differs: %g vs %g", i, r.Data[i], res.R.Data[i])
+		}
+	}
+	// The Workers knob may change wall-clock only: factors and measured
+	// costs must be bitwise identical.
+	res4, err := Factorize1D(a, 8, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Q.Data {
+		if res.Q.Data[i] != res4.Q.Data[i] {
+			t.Fatalf("Workers=4: Q differs at %d", i)
+		}
+	}
+	if res.Stats != res4.Stats {
+		t.Fatalf("Workers=4 changed measured costs: %+v vs %+v", res.Stats, res4.Stats)
+	}
+	// Error paths.
+	if _, err := Factorize1D(a, 7, Options{}); err == nil {
+		t.Fatal("indivisible m accepted")
+	}
+	if _, err := Factorize1D(a, 0, Options{}); err == nil {
+		t.Fatal("zero procs accepted")
+	}
+}
+
+func TestFactorizePlanExecutesChosenCandidate(t *testing.T) {
+	a := RandomMatrix(256, 16, 5)
+	plans, err := PlanGrid(256, 16, 8, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Execute the runner-up, not the winner: FactorizePlan must honor
+	// the caller's choice.
+	pick := plans[1]
+	res, err := FactorizePlan(a, pick, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan == nil || res.Plan.Variant != pick.Variant || res.Plan.Procs != pick.Procs {
+		t.Fatalf("executed %+v, picked %+v", res.Plan, pick)
+	}
+	if e := ResidualNorm(a, res.Q, res.R); e > 1e-10 {
+		t.Fatalf("residual %g", e)
+	}
+	// Non-executable reference rows are rejected.
+	if _, err := FactorizePlan(a, Plan{Variant: VariantPGEQRF}, Options{}); err == nil {
+		t.Fatal("PGEQRF reference row executed")
+	}
+}
+
+func TestIncludeBaselinesSurfacesPGEQRFRow(t *testing.T) {
+	plans, err := PlanGrid(4096, 256, 64, Options{IncludeBaselines: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, p := range plans {
+		if p.Variant == VariantPGEQRF {
+			found = true
+			if p.Executable {
+				t.Fatal("PGEQRF reference row marked executable")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("IncludeBaselines did not surface a PGEQRF reference row")
+	}
+}
+
+func TestPartialPlanMachineRejected(t *testing.T) {
+	// A custom machine missing the fields Machine.Time divides by must
+	// be an error, not a silent fallback to Stampede2.
+	partial := Machine{Name: "partial", AlphaSec: 1e-6, InjBandwidth: 1e9}
+	if _, err := PlanGrid(1024, 64, 16, Options{PlanMachine: &partial}); err == nil {
+		t.Fatal("partially-specified PlanMachine accepted")
+	}
+	if _, err := AutoFactorize(RandomMatrix(64, 8, 1), 4, Options{PlanMachine: &partial}); err == nil {
+		t.Fatal("partially-specified PlanMachine accepted by AutoFactorize")
+	}
+}
+
+func TestPlanGridRankedAndBudgeted(t *testing.T) {
+	plans, err := PlanGrid(4096, 256, 64, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(plans); i++ {
+		if plans[i].Seconds < plans[i-1].Seconds {
+			t.Fatalf("plans not ranked at %d", i)
+		}
+	}
+	budget := plans[0].MemBytes() - 1
+	rest, err := PlanGrid(4096, 256, 64, Options{MemBudget: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range rest {
+		if p.MemBytes() > budget {
+			t.Fatalf("plan %v over budget %d", p, budget)
+		}
+	}
+}
+
+func TestNegativeWorkersRejectedEverywhere(t *testing.T) {
+	a := RandomMatrix(32, 4, 1)
+	bad := Options{Workers: -1}
+	if _, err := FactorizeOnGrid(a, GridSpec{C: 1, D: 4}, bad); err == nil {
+		t.Fatal("FactorizeOnGrid accepted negative Workers")
+	}
+	if _, err := FactorizeTSQR(a, 4, 0, bad); err == nil {
+		t.Fatal("FactorizeTSQR accepted negative Workers")
+	}
+	if _, err := Factorize1D(a, 4, bad); err == nil {
+		t.Fatal("Factorize1D accepted negative Workers")
+	}
+	if _, err := AutoFactorize(a, 4, bad); err == nil {
+		t.Fatal("AutoFactorize accepted negative Workers")
+	}
+	if _, err := PlanGrid(32, 4, 4, bad); err == nil {
+		t.Fatal("PlanGrid accepted negative Workers")
+	}
+}

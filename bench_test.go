@@ -165,7 +165,7 @@ func BenchmarkRunOneDCQR2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_, err := simmpi.Run(p, func(pr *simmpi.Proc) error {
 			local := a.View(pr.Rank()*(m/p), 0, m/p, n).Clone()
-			_, _, err := core.OneDCQR2(pr.World(), local, m, n)
+			_, _, err := core.OneDCQR2(pr.World(), local, m, n, 0)
 			return err
 		})
 		if err != nil {

@@ -148,7 +148,21 @@ type Options struct {
 	//
 	// The sequential entry points (CholeskyQR2, ShiftedCQR3, Solve) do
 	// not consult Options; they always use all of GOMAXPROCS.
+	// Negative values are rejected with an error.
 	Workers int
+	// MemBudget bounds the planner's modeled per-rank memory footprint
+	// in bytes (0 = unlimited). Consulted only by PlanGrid,
+	// AutoFactorize, and the auto mode of SolveLeastSquares; the
+	// fixed-grid entry points ignore it.
+	MemBudget int64
+	// PlanMachine selects the machine model whose α-β-γ constants rank
+	// the planner's candidates (nil = Stampede2, the paper's primary
+	// platform). Planner-only, like MemBudget.
+	PlanMachine *Machine
+	// IncludeBaselines adds the ScaLAPACK-style PGEQRF baseline to
+	// PlanGrid's ranking as a non-executable reference row (the grid the
+	// paper compares against). AutoFactorize never selects it.
+	IncludeBaselines bool
 }
 
 // CostStats reports a run's measured per-processor cost in the paper's
@@ -165,6 +179,9 @@ type CostStats struct {
 type Result struct {
 	Q, R  *Dense
 	Stats CostStats
+	// Plan is the planner's choice when the run came from AutoFactorize
+	// (nil for the fixed-grid entry points).
+	Plan *Plan
 }
 
 // FactorizeOnGrid runs CA-CQR2 on a simulated grid: the m×n matrix is
@@ -174,17 +191,15 @@ type Result struct {
 // gathered back. Requires d | m and c | n.
 func FactorizeOnGrid(a *Dense, spec GridSpec, opts Options) (*Result, error) {
 	m, n := a.Rows, a.Cols
+	if err := checkWorkers(opts); err != nil {
+		return nil, err
+	}
 	if spec.C < 1 || spec.D < spec.C || spec.D%spec.C != 0 {
 		return nil, fmt.Errorf("cacqr: invalid grid %dx%dx%d (need 1 ≤ c ≤ d, c | d)", spec.C, spec.D, spec.C)
 	}
 	global := a.toLin()
-	timeout := opts.Timeout
-	if timeout == 0 {
-		timeout = 10 * time.Minute
-	}
-
 	var q, r *lin.Matrix
-	st, err := simmpi.RunWithOptions(spec.Procs(), simmpi.Options{Timeout: timeout}, func(p *simmpi.Proc) error {
+	st, err := simmpi.RunWithOptions(spec.Procs(), simmpi.Options{Timeout: simTimeout(opts)}, func(p *simmpi.Proc) error {
 		g, err := grid.New(p.World(), spec.C, spec.D)
 		if err != nil {
 			return err
@@ -250,40 +265,32 @@ func FactorizeOnGrid(a *Dense, spec GridSpec, opts Options) (*Result, error) {
 	}, nil
 }
 
-// FactorizeTSQR factors a tall-skinny matrix with the binary-tree TSQR
-// baseline on a simulated 1D grid of procs ranks (a power of two). TSQR
-// is unconditionally stable — the right tool when κ(A) exceeds
-// CholeskyQR2's ~1/√ε regime — at the price of a log P critical path of
-// small factorizations. panelWidth > 0 selects the blocked variant,
-// which only needs m/procs ≥ panelWidth instead of m/procs ≥ n.
-func FactorizeTSQR(a *Dense, procs, panelWidth int, opts Options) (*Result, error) {
+// Factorize1D factors a tall matrix with 1D-CQR2 (Algorithm 7) on a
+// simulated 1D grid of procs ranks, each owning a contiguous m/procs
+// row block (requires procs | m). procs = 1 is the sequential
+// CholeskyQR2 with measured cost accounting. This is the planner's
+// c = 1 execution path: the paper's tall-skinny regime, where
+// replication buys nothing and the whole Gram matrix fits one rank.
+func Factorize1D(a *Dense, procs int, opts Options) (*Result, error) {
 	m, n := a.Rows, a.Cols
-	global := a.toLin()
-	timeout := opts.Timeout
-	if timeout == 0 {
-		timeout = 10 * time.Minute
+	if err := checkWorkers(opts); err != nil {
+		return nil, err
 	}
+	if procs < 1 {
+		return nil, fmt.Errorf("cacqr: invalid processor count %d", procs)
+	}
+	if m%procs != 0 {
+		return nil, fmt.Errorf("cacqr: m=%d not divisible by P=%d", m, procs)
+	}
+	global := a.toLin()
 	var q, r *lin.Matrix
-	st, err := simmpi.RunWithOptions(procs, simmpi.Options{Timeout: timeout}, func(p *simmpi.Proc) error {
-		if m%procs != 0 {
-			return fmt.Errorf("cacqr: m=%d not divisible by P=%d", m, procs)
-		}
+	st, err := simmpi.RunWithOptions(procs, simmpi.Options{Timeout: simTimeout(opts)}, func(p *simmpi.Proc) error {
 		local := global.View(p.Rank()*(m/procs), 0, m/procs, n).Clone()
-		var qL, rL *lin.Matrix
-		var err error
-		if panelWidth > 0 {
-			qL, rL, err = tsqr.BlockedFactor(p.World(), local, m, n, panelWidth, opts.Workers)
-		} else {
-			qL, rL, err = tsqr.Factor(p.World(), local, m, n, opts.Workers)
-		}
+		qL, rL, err := core.OneDCQR2(p.World(), local, m, n, opts.Workers)
 		if err != nil {
 			return err
 		}
-		flat, err := p.World().Allgather(dist.Flatten(qL))
-		if err != nil {
-			return err
-		}
-		qG, err := dist.Unflatten(m, n, flat)
+		qG, err := allgatherQ(p, qL, m, n)
 		if err != nil {
 			return err
 		}
@@ -302,6 +309,77 @@ func FactorizeTSQR(a *Dense, procs, panelWidth int, opts Options) (*Result, erro
 			Msgs: st.MaxMsgs, Words: st.MaxWords, Flops: st.MaxFlops, Time: st.Time,
 		},
 	}, nil
+}
+
+// FactorizeTSQR factors a tall-skinny matrix with the binary-tree TSQR
+// baseline on a simulated 1D grid of procs ranks (a power of two). TSQR
+// is unconditionally stable — the right tool when κ(A) exceeds
+// CholeskyQR2's ~1/√ε regime — at the price of a log P critical path of
+// small factorizations. panelWidth > 0 selects the blocked variant,
+// which only needs m/procs ≥ panelWidth instead of m/procs ≥ n.
+func FactorizeTSQR(a *Dense, procs, panelWidth int, opts Options) (*Result, error) {
+	m, n := a.Rows, a.Cols
+	if err := checkWorkers(opts); err != nil {
+		return nil, err
+	}
+	if procs < 1 {
+		return nil, fmt.Errorf("cacqr: invalid processor count %d", procs)
+	}
+	global := a.toLin()
+	var q, r *lin.Matrix
+	st, err := simmpi.RunWithOptions(procs, simmpi.Options{Timeout: simTimeout(opts)}, func(p *simmpi.Proc) error {
+		if m%procs != 0 {
+			return fmt.Errorf("cacqr: m=%d not divisible by P=%d", m, procs)
+		}
+		local := global.View(p.Rank()*(m/procs), 0, m/procs, n).Clone()
+		var qL, rL *lin.Matrix
+		var err error
+		if panelWidth > 0 {
+			qL, rL, err = tsqr.BlockedFactor(p.World(), local, m, n, panelWidth, opts.Workers)
+		} else {
+			qL, rL, err = tsqr.Factor(p.World(), local, m, n, opts.Workers)
+		}
+		if err != nil {
+			return err
+		}
+		qG, err := allgatherQ(p, qL, m, n)
+		if err != nil {
+			return err
+		}
+		if p.Rank() == 0 {
+			q, r = qG, rL
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Q: fromLin(q),
+		R: fromLin(r),
+		Stats: CostStats{
+			Msgs: st.MaxMsgs, Words: st.MaxWords, Flops: st.MaxFlops, Time: st.Time,
+		},
+	}, nil
+}
+
+// simTimeout resolves the Options.Timeout default for simulated runs.
+func simTimeout(opts Options) time.Duration {
+	if opts.Timeout == 0 {
+		return 10 * time.Minute
+	}
+	return opts.Timeout
+}
+
+// allgatherQ assembles the global m×n Q from each rank's row block over
+// the 1D world communicator — the shared gather tail of the 1D
+// execution paths (Factorize1D, FactorizeTSQR).
+func allgatherQ(p *simmpi.Proc, qL *lin.Matrix, m, n int) (*lin.Matrix, error) {
+	flat, err := p.World().Allgather(dist.Flatten(qL))
+	if err != nil {
+		return nil, err
+	}
+	return dist.Unflatten(m, n, flat)
 }
 
 // Machine re-exports the cost model's machine description.

@@ -3,6 +3,13 @@
 // per-processor α-β-γ costs alongside the analytic model's prediction.
 //
 //	cacqr2 -m 1024 -n 32 -c 2 -d 4 [-inv 0] [-base 0] [-cond 1e4] [-seed 1]
+//
+// With -grid auto the cost-model planner chooses the algorithm variant
+// and grid over up to -p simulated ranks (optionally under a per-rank
+// -mem byte budget), prints the top-3 ranked plans, and executes the
+// winner:
+//
+//	cacqr2 -grid auto -m 4096 -n 256 -p 64 [-mem 4000000]
 package main
 
 import (
@@ -19,24 +26,37 @@ func main() {
 	n := flag.Int("n", 32, "matrix columns")
 	c := flag.Int("c", 2, "grid parameter c (grid is c x d x c)")
 	d := flag.Int("d", 4, "grid parameter d")
+	gridMode := flag.String("grid", "", `"auto" lets the planner choose variant and grid (ignores -c/-d)`)
+	procs := flag.Int("p", 16, "processor budget for -grid auto")
+	mem := flag.Int64("mem", 0, "per-rank memory budget in bytes for -grid auto (0 = unlimited)")
+	baselines := flag.Bool("baselines", false, "with -grid auto, rank the PGEQRF baseline as a reference row")
 	inv := flag.Int("inv", 0, "InverseDepth (top CFR3D levels without explicit inverse)")
 	base := flag.Int("base", 0, "CFR3D base-case size n_o (0 = default n/c²)")
 	cond := flag.Float64("cond", 0, "condition number of the test matrix (0 = generic random)")
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
 
-	spec := cacqr.GridSpec{C: *c, D: *d}
 	var a *cacqr.Dense
 	if *cond > 1 {
 		a = cacqr.RandomWithCond(*m, *n, *cond, *seed)
 	} else {
 		a = cacqr.RandomMatrix(*m, *n, *seed)
 	}
+	opts := cacqr.Options{InverseDepth: *inv, BaseSize: *base, MemBudget: *mem, IncludeBaselines: *baselines}
 
-	fmt.Printf("CA-CQR2: %d x %d matrix on a %dx%dx%d grid (%d simulated ranks), InverseDepth=%d\n",
-		*m, *n, spec.C, spec.D, spec.C, spec.Procs(), *inv)
-
-	res, err := cacqr.FactorizeOnGrid(a, spec, cacqr.Options{InverseDepth: *inv, BaseSize: *base})
+	var res *cacqr.Result
+	var err error
+	switch *gridMode {
+	case "auto":
+		res, err = runAuto(a, *procs, opts)
+	case "":
+		spec := cacqr.GridSpec{C: *c, D: *d}
+		fmt.Printf("CA-CQR2: %d x %d matrix on a %dx%dx%d grid (%d simulated ranks), InverseDepth=%d\n",
+			*m, *n, spec.C, spec.D, spec.C, spec.Procs(), *inv)
+		res, err = cacqr.FactorizeOnGrid(a, spec, opts)
+	default:
+		err = fmt.Errorf("unknown -grid mode %q (want \"auto\" or empty)", *gridMode)
+	}
 	if err != nil {
 		log.Fatalf("factorization failed: %v", err)
 	}
@@ -55,15 +75,69 @@ func main() {
 	fmt.Printf("  γ (flops):             %d\n", res.Stats.Flops)
 	fmt.Printf("  virtual time:          %.3g s (generic machine)\n", res.Stats.Time)
 
-	model, err := cacqr.ModelCACQR2(*m, *n, spec, cacqr.Options{InverseDepth: *inv, BaseSize: *base})
+	if *gridMode == "auto" {
+		return // the plan table already showed the model's prediction
+	}
+	model, err := cacqr.ModelCACQR2(*m, *n, cacqr.GridSpec{C: *c, D: *d}, opts)
 	if err == nil {
 		fmt.Printf("\nanalytic model (algorithm only, excluding the final gather):\n")
 		fmt.Printf("  α=%d β=%d γ=%d\n", model.Msgs, model.Words, model.TotalFlops())
 		s2 := cacqr.Stampede2
-		nodes := spec.Procs() / s2.PPN
+		nodes := (*c) * (*d) * (*c) / s2.PPN
 		if nodes > 0 {
 			fmt.Printf("  on %s at %d nodes: %.1f GF/s/node\n",
 				s2.Name, nodes, cacqr.PredictGFlopsPerNode(s2, model, *m, *n, nodes))
 		}
 	}
+}
+
+// runAuto prints the planner's top-3 ranked plans, then executes the
+// winner through AutoFactorize.
+func runAuto(a *cacqr.Dense, procs int, opts cacqr.Options) (*cacqr.Result, error) {
+	m, n := a.Rows, a.Cols
+	fmt.Printf("planning: %d x %d matrix, ≤%d simulated ranks", m, n, procs)
+	if opts.MemBudget > 0 {
+		fmt.Printf(", ≤%d bytes/rank", opts.MemBudget)
+	}
+	fmt.Println()
+
+	plans, err := cacqr.PlanGrid(m, n, procs, opts)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("\n%-4s %-14s %-10s %6s %12s %12s %14s %12s\n",
+		"rank", "variant", "grid", "ranks", "α (msgs)", "β (words)", "γ (flops)", "pred. time")
+	for i, p := range plans {
+		if i == 3 {
+			break
+		}
+		note := ""
+		if !p.Executable {
+			note = " [reference]"
+		}
+		fmt.Printf("%-4d %-14s %-10s %6d %12d %12d %14d %11.3gs%s\n",
+			i+1, p.Variant, p.GridString(), p.Procs, p.Cost.Msgs, p.Cost.Words, p.Cost.TotalFlops(), p.Seconds, note)
+		fmt.Printf("     · %s (%d words/rank)\n", p.Rationale, p.MemWords)
+	}
+	winner := -1
+	for i, p := range plans {
+		if p.Executable {
+			winner = i
+			break
+		}
+	}
+	if winner < 0 {
+		return nil, fmt.Errorf("no executable plan in the ranking")
+	}
+
+	// Execute the table's own winner (the best executable row) — no
+	// second enumeration, so the printed ranking can never diverge from
+	// the executed plan.
+	res, err := cacqr.FactorizePlan(a, plans[winner], opts)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("\nexecuting winner: %s on %s (%d ranks)\n",
+		res.Plan.Variant, res.Plan.GridString(), res.Plan.Procs)
+	return res, nil
 }

@@ -204,7 +204,7 @@ func Table34() (string, error) {
 	a := lin.RandomMatrix(m, n, 2)
 	measured, err := measureRun(p, func(pr *simmpi.Proc) error {
 		local := a.View(pr.Rank()*(m/p), 0, m/p, n).Clone()
-		_, _, err := core.OneDCQR(pr.World(), local, m, n)
+		_, _, err := core.OneDCQR(pr.World(), local, m, n, 0)
 		return err
 	})
 	if err != nil {
@@ -219,7 +219,7 @@ func Table34() (string, error) {
 	}
 	measured2, err := measureRun(p, func(pr *simmpi.Proc) error {
 		local := a.View(pr.Rank()*(m/p), 0, m/p, n).Clone()
-		_, _, err := core.OneDCQR2(pr.World(), local, m, n)
+		_, _, err := core.OneDCQR2(pr.World(), local, m, n, 0)
 		return err
 	})
 	if err != nil {

@@ -33,7 +33,7 @@ func Fig2Trace() (string, error) {
 	var resErr error
 	_, err := simmpi.RunWithOptions(p, simmpi.Options{Timeout: 60 * time.Second}, func(pr *simmpi.Proc) error {
 		local := a.View(pr.Rank()*(m/p), 0, m/p, n).Clone()
-		q, r, err := core.OneDCQR(pr.World(), local, m, n)
+		q, r, err := core.OneDCQR(pr.World(), local, m, n, 0)
 		if err != nil {
 			return err
 		}

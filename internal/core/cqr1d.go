@@ -17,7 +17,14 @@ import (
 //	line 4: Π⟨Q⟩ = MM(Π⟨A⟩, R⁻¹)     (local, 2(m/P)·n² flops)
 //
 // Returns this rank's Q block and the replicated n × n R.
-func OneDCQR(comm *simmpi.Comm, aLocal *lin.Matrix, m, n int) (qLocal, r *lin.Matrix, err error) {
+//
+// workers bounds the goroutines the rank's local level-3 kernels may
+// use (≤ 1 = serial, the right default for simulated grids). Results
+// are identical for any value.
+func OneDCQR(comm *simmpi.Comm, aLocal *lin.Matrix, m, n, workers int) (qLocal, r *lin.Matrix, err error) {
+	if workers < 1 {
+		workers = 1
+	}
 	p := comm.Proc()
 	np := comm.Size()
 	if m%np != 0 {
@@ -27,7 +34,7 @@ func OneDCQR(comm *simmpi.Comm, aLocal *lin.Matrix, m, n int) (qLocal, r *lin.Ma
 		return nil, nil, fmt.Errorf("core: local block %dx%d, want %dx%d", aLocal.Rows, aLocal.Cols, m/np, n)
 	}
 
-	x := lin.SyrkNew(aLocal)
+	x := lin.SyrkNewParallel(workers, aLocal)
 	if err := p.Compute(lin.SyrkFlops(aLocal.Rows, n)); err != nil {
 		return nil, nil, err
 	}
@@ -52,7 +59,7 @@ func OneDCQR(comm *simmpi.Comm, aLocal *lin.Matrix, m, n int) (qLocal, r *lin.Ma
 	// Q = A·(L⁻¹)ᵀ = A·R⁻¹, charged at the TRMM rate (R⁻¹ triangular),
 	// matching the paper's 4mn² + (5/3)n³ critical-path count.
 	qLocal = lin.NewMatrix(aLocal.Rows, n)
-	lin.Gemm(false, true, 1, aLocal, y, 0, qLocal)
+	lin.GemmParallel(workers, false, true, 1, aLocal, y, 0, qLocal)
 	if err := p.Compute(lin.TrsmFlops(aLocal.Rows, n)); err != nil {
 		return nil, nil, err
 	}
@@ -61,12 +68,12 @@ func OneDCQR(comm *simmpi.Comm, aLocal *lin.Matrix, m, n int) (qLocal, r *lin.Ma
 
 // OneDCQR2 is Algorithm 7: two OneDCQR passes and a local triangular
 // product R = R₂·R₁ ((1/3)n³ flops).
-func OneDCQR2(comm *simmpi.Comm, aLocal *lin.Matrix, m, n int) (qLocal, r *lin.Matrix, err error) {
-	q1, r1, err := OneDCQR(comm, aLocal, m, n)
+func OneDCQR2(comm *simmpi.Comm, aLocal *lin.Matrix, m, n, workers int) (qLocal, r *lin.Matrix, err error) {
+	q1, r1, err := OneDCQR(comm, aLocal, m, n, workers)
 	if err != nil {
 		return nil, nil, err
 	}
-	q, r2, err := OneDCQR(comm, q1, m, n)
+	q, r2, err := OneDCQR(comm, q1, m, n, workers)
 	if err != nil {
 		return nil, nil, err
 	}

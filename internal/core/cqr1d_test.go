@@ -30,7 +30,7 @@ func TestOneDCQRFactors(t *testing.T) {
 	const np, m, n = 4, 32, 6
 	a := lin.RandomMatrix(m, n, 1)
 	run1D(t, np, func(p *simmpi.Proc) error {
-		q, r, err := OneDCQR(p.World(), rowBlock(a, np, p.Rank()), m, n)
+		q, r, err := OneDCQR(p.World(), rowBlock(a, np, p.Rank()), m, n, 0)
 		if err != nil {
 			return err
 		}
@@ -54,7 +54,7 @@ func TestOneDCQR2MatchesSequential(t *testing.T) {
 		t.Fatal(err)
 	}
 	run1D(t, np, func(p *simmpi.Proc) error {
-		q, r, err := OneDCQR2(p.World(), rowBlock(a, np, p.Rank()), m, n)
+		q, r, err := OneDCQR2(p.World(), rowBlock(a, np, p.Rank()), m, n, 0)
 		if err != nil {
 			return err
 		}
@@ -85,7 +85,7 @@ func TestOneDCQRCostTableIII(t *testing.T) {
 	const np, m, n = 4, 64, 8
 	a := lin.RandomMatrix(m, n, 3)
 	st := run1D(t, np, func(p *simmpi.Proc) error {
-		_, _, err := OneDCQR(p.World(), rowBlock(a, np, p.Rank()), m, n)
+		_, _, err := OneDCQR(p.World(), rowBlock(a, np, p.Rank()), m, n, 0)
 		return err
 	})
 	wantFlops := lin.SyrkFlops(m/np, n) + lin.CholFlops(n) + lin.TriInvFlops(n) + lin.TrsmFlops(m/np, n)
@@ -103,7 +103,7 @@ func TestOneDCQRCostTableIII(t *testing.T) {
 
 func TestOneDCQRRejectsIndivisible(t *testing.T) {
 	run1D(t, 3, func(p *simmpi.Proc) error {
-		if _, _, err := OneDCQR(p.World(), lin.NewMatrix(3, 2), 10, 2); err == nil {
+		if _, _, err := OneDCQR(p.World(), lin.NewMatrix(3, 2), 10, 2, 0); err == nil {
 			return errors.New("indivisible m accepted")
 		}
 		return nil
@@ -119,7 +119,7 @@ func TestOneDCQR2SingleRank(t *testing.T) {
 		t.Fatal(err)
 	}
 	run1D(t, 1, func(p *simmpi.Proc) error {
-		q, r, err := OneDCQR2(p.World(), a.Clone(), m, n)
+		q, r, err := OneDCQR2(p.World(), a.Clone(), m, n, 0)
 		if err != nil {
 			return err
 		}

@@ -132,7 +132,7 @@ func TestOneDCQR2AgreesWithCACQR2C1(t *testing.T) {
 		// Note: 1D uses blocked rows; CA uses cyclic rows. R is
 		// row-layout independent.
 		local := a.View(pr.Rank()*(m/p), 0, m/p, n).Clone()
-		_, r, err := OneDCQR2(pr.World(), local, m, n)
+		_, r, err := OneDCQR2(pr.World(), local, m, n, 0)
 		if err != nil {
 			return err
 		}

@@ -27,6 +27,60 @@ func CACQR2Memory(m, n int, prm CACQRParams) (int64, error) {
 	return 3*mloc*nloc + 7*nloc*nloc, nil
 }
 
+// OneDCQR2Memory returns the peak per-process words held by the 1D
+// CholeskyQR2 implementation (Algorithm 7) on p processors, counted from
+// the buffers core.OneDCQR2 keeps live:
+//
+//	A, Q₁, Q (row blocks)        — 3 · mn/p
+//	X, Z, L, Y, R                — 5 · n²
+//
+// p = 1 is the sequential footprint.
+func OneDCQR2Memory(m, n, p int) (int64, error) {
+	if p < 1 {
+		return 0, fmt.Errorf("costmodel: invalid processor count %d", p)
+	}
+	if m%p != 0 {
+		return 0, fmt.Errorf("costmodel: m=%d not divisible by P=%d", m, p)
+	}
+	mloc := int64(m / p)
+	nn := int64(n)
+	return 3*mloc*nn + 5*nn*nn, nil
+}
+
+// TSQRMemory returns the peak per-process words of the binary-tree TSQR
+// (internal/tsqr) on p processors: the local block, its Householder Q,
+// and the assembled output block (3 · mn/p), plus the up-sweep path of
+// at most log₂p stacked 2n×n tree factors and the small n×n workspaces
+// (stacked pair, B, R): (2·log₂p + 5) · n².
+func TSQRMemory(m, n, p int) (int64, error) {
+	if p < 1 || m%p != 0 || m/p < n {
+		return 0, fmt.Errorf("costmodel: tsqr shape m=%d n=%d P=%d", m, n, p)
+	}
+	mloc := int64(m / p)
+	nn := int64(n)
+	return 3*mloc*nn + (2*log2Ceil(p)+5)*nn*nn, nil
+}
+
+// PanelCACQR2Memory returns the peak per-process words of the panel-wise
+// variant: the full local block, its in-place trailing copy, and the
+// accumulated Q (3 · mn/(dc)), the n²/c² local R block, plus the widest
+// panel factorization's own footprint (CACQR2Memory of the m×b panel)
+// and the trailing-product strip (2 · (b/c)·(n/c)).
+func PanelCACQR2Memory(m, n, b int, prm CACQRParams) (int64, error) {
+	c, d := prm.C, prm.D
+	if b < 1 || b%c != 0 || n%b != 0 {
+		return 0, fmt.Errorf("costmodel: panel width %d incompatible with c=%d, n=%d", b, c, n)
+	}
+	panel, err := CACQR2Memory(m, b, prm)
+	if err != nil {
+		return 0, err
+	}
+	mloc := int64(m / d)
+	nloc := int64(n / c)
+	bloc := int64(b / c)
+	return 3*mloc*nloc + nloc*nloc + panel + 2*bloc*nloc, nil
+}
+
 // PGEQRFMemory returns the baseline's per-process words: the local
 // block-cyclic matrix plus a replicated panel and update workspace.
 func PGEQRFMemory(m, n, pr, pc, nb int) (int64, error) {

@@ -100,7 +100,7 @@ func TestOneDCQRModelMatchesRun(t *testing.T) {
 	a := lin.RandomMatrix(m, n, 3)
 	st := runRanks(t, np, func(p *simmpi.Proc) error {
 		local := a.View(p.Rank()*(m/np), 0, m/np, n).Clone()
-		_, _, err := core.OneDCQR(p.World(), local, m, n)
+		_, _, err := core.OneDCQR(p.World(), local, m, n, 0)
 		return err
 	})
 	want, err := OneDCQR(m, n, np)
@@ -113,7 +113,7 @@ func TestOneDCQRModelMatchesRun(t *testing.T) {
 
 	st2 := runRanks(t, np, func(p *simmpi.Proc) error {
 		local := a.View(p.Rank()*(m/np), 0, m/np, n).Clone()
-		_, _, err := core.OneDCQR2(p.World(), local, m, n)
+		_, _, err := core.OneDCQR2(p.World(), local, m, n, 0)
 		return err
 	})
 	want2, err := OneDCQR2(m, n, np)

@@ -26,6 +26,11 @@ func Suite(quick bool, workers int) []Case {
 	d1M, d1N, d1P := 16384, 64, 16
 	d3M, d3N, d3C, d3D := 4096, 128, 2, 8
 	tsM, tsN, tsP := 16384, 64, 16
+	// Planner shapes: the overhead case plans a paper-scale shape (pure
+	// arithmetic, no simulation); the auto case runs the planner plus
+	// the planned factorization at the cacqr2-3d shape's scale.
+	plM, plN, plP := 1<<20, 1<<10, 4096
+	auP := d3C * d3D * d3C
 	if quick {
 		gm, gn, gk = 512, 512, 64
 		sm, sn = 1024, 128
@@ -33,6 +38,8 @@ func Suite(quick bool, workers int) []Case {
 		d1M, d1N, d1P = 4096, 32, 8
 		d3M, d3N, d3C, d3D = 1024, 64, 2, 4
 		tsM, tsN, tsP = 4096, 32, 8
+		plM, plN, plP = 1<<18, 256, 512
+		auP = d3C * d3D * d3C
 	}
 
 	ga := lin.RandomMatrix(gm, gk, 201)
@@ -126,6 +133,30 @@ func Suite(quick bool, workers int) []Case {
 			Flops: lin.HouseholderQRFlops(tsM, tsN),
 			Run: func() (Stats, error) {
 				res, err := cacqr.FactorizeTSQR(tsA, tsP, 0, opts)
+				if err != nil {
+					return Stats{}, err
+				}
+				return Stats{Msgs: res.Stats.Msgs, Words: res.Stats.Words}, nil
+			},
+		},
+		{
+			// Planner overhead: enumerate + rank every variant and grid
+			// for a paper-scale shape. Pure cost-model arithmetic — this
+			// is what a future serving layer would pay per request.
+			Name: nameSz("plan-grid", plM, plN) + "-p" + itoa(plP),
+			Run: func() (Stats, error) {
+				_, err := cacqr.PlanGrid(plM, plN, plP, cacqr.Options{})
+				return Stats{}, err
+			},
+		},
+		{
+			// Planned vs fixed grid: AutoFactorize at the cacqr2-3d
+			// case's shape and rank count, so the two rows' ns/op and
+			// communication can be compared directly in the report.
+			Name:  nameSz("cacqr2-auto", d3M, d3N) + "-p" + itoa(auP),
+			Flops: lin.CQR2Flops(d3M, d3N),
+			Run: func() (Stats, error) {
+				res, err := cacqr.AutoFactorize(d3A, auP, opts)
 				if err != nil {
 					return Stats{}, err
 				}

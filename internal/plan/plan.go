@@ -1,0 +1,120 @@
+// Package plan is the autotuning planner between the validated cost
+// model and the execution paths: given a matrix shape, a processor
+// budget, a machine model, and a per-rank memory budget, it enumerates
+// every feasible algorithm variant and grid — the paper's tunable
+// c × d × c CA-CQR2 family (Tables I–VI), the 1D and sequential
+// CholeskyQR2 special cases, the §V panel variant, and the TSQR
+// baseline — prices each candidate with internal/costmodel, and returns
+// a ranked list of plans.
+//
+// The point is the paper's central tension: the right (c, d) depends on
+// the matrix aspect ratio, the processor count, and the machine's
+// α-β-γ constants. Very tall matrices want c = 1 (the 1D algorithm);
+// near-square matrices on bandwidth-starved machines want c → d (the 3D
+// algorithm); everything in between interpolates. The planner automates
+// the choice the paper's experiments made by hand.
+//
+// Predictions reuse the exact recurrences that the costmodel tests
+// validate against instrumented runs, so a plan's Cost is the cost the
+// simulated runtime will actually charge (up to the final gather).
+package plan
+
+import (
+	"fmt"
+
+	"cacqr/internal/costmodel"
+)
+
+// Variant names an algorithm the planner can select.
+type Variant string
+
+const (
+	// Sequential is CholeskyQR2 on a single rank (no communication).
+	Sequential Variant = "seq-cqr2"
+	// OneD is 1D-CQR2 (Algorithm 7): row blocks over p ranks, c = 1.
+	OneD Variant = "1d-cqr2"
+	// CACQR2 is the paper's Algorithm 9 on a c × d × c grid with c ≥ 2.
+	CACQR2 Variant = "ca-cqr2"
+	// PanelCACQR2 is the §V panel-wise variant on a c × d × c grid.
+	PanelCACQR2 Variant = "panel-ca-cqr2"
+	// TSQR is the binary-tree Householder baseline (power-of-two ranks).
+	TSQR Variant = "tsqr"
+	// PGEQRF is the ScaLAPACK-style 2D Householder baseline. It is
+	// priced only as a reference row (Request.IncludeBaselines); the
+	// planner never selects it for execution.
+	PGEQRF Variant = "pgeqrf"
+)
+
+// Request describes one planning problem.
+type Request struct {
+	// M, N is the global matrix shape (m ≥ n).
+	M, N int
+	// Procs is the maximum number of simulated ranks available. Plans
+	// may use fewer (grids must satisfy c·d·c ≤ Procs).
+	Procs int
+	// Machine supplies the α-β-γ constants used for ranking. The zero
+	// value selects costmodel.Stampede2, the paper's primary platform.
+	Machine costmodel.Machine
+	// MemBudget is the per-rank memory budget in bytes (8-byte words
+	// from the footprint model). 0 means unlimited. Plans whose modeled
+	// per-rank footprint exceeds the budget are rejected.
+	MemBudget int64
+	// InverseDepth and BaseSize are forwarded to the CA-CQR2 cost
+	// recurrences (the paper's legend knobs).
+	InverseDepth, BaseSize int
+	// IncludeBaselines adds non-executable PGEQRF reference rows to the
+	// ranking so CLI tables can show the baseline the paper beats.
+	IncludeBaselines bool
+	// MaxPlans caps the ranked list (0 = no cap). Best ignores it.
+	MaxPlans int
+}
+
+// Plan is one priced candidate.
+type Plan struct {
+	Variant Variant
+	// C, D are the grid parameters for the CA-CQR2 family (C = 1 for
+	// OneD and Sequential; unused for TSQR).
+	C, D int
+	// PanelWidth is the §V panel width b (PanelCACQR2 only).
+	PanelWidth int
+	// Procs is the number of ranks the plan actually uses: c·d·c for
+	// the grid family, the 1D rank count otherwise.
+	Procs int
+	// Cost is the modeled per-processor critical-path cost.
+	Cost costmodel.Cost
+	// Seconds is Machine.Time(Cost), the ranking key.
+	Seconds float64
+	// MemWords is the modeled peak per-rank footprint in 8-byte words;
+	// MemBytes = 8 · MemWords.
+	MemWords int64
+	// Rationale is a one-line human-readable justification.
+	Rationale string
+	// Executable reports whether AutoFactorize can dispatch this plan
+	// (false only for PGEQRF reference rows).
+	Executable bool
+}
+
+// MemBytes is the modeled peak per-rank footprint in bytes.
+func (p Plan) MemBytes() int64 { return 8 * p.MemWords }
+
+// GridString renders the processor layout: "c×d×c" for the grid family,
+// "p=…" for the 1D family.
+func (p Plan) GridString() string {
+	switch p.Variant {
+	case CACQR2, PanelCACQR2:
+		return fmt.Sprintf("%d×%d×%d", p.C, p.D, p.C)
+	case PGEQRF:
+		return fmt.Sprintf("%d×%d", p.D, p.C)
+	default:
+		return fmt.Sprintf("p=%d", p.Procs)
+	}
+}
+
+func (p Plan) String() string {
+	s := fmt.Sprintf("%s %s: %.3g s (α=%d β=%d γ=%d, %d words/rank)",
+		p.Variant, p.GridString(), p.Seconds, p.Cost.Msgs, p.Cost.Words, p.Cost.TotalFlops(), p.MemWords)
+	if p.PanelWidth > 0 {
+		s += fmt.Sprintf(" b=%d", p.PanelWidth)
+	}
+	return s
+}

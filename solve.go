@@ -4,16 +4,34 @@ import (
 	"fmt"
 )
 
+// AutoGrid is the GridSpec auto mode: it asks the planner to choose the
+// algorithm variant and grid over up to procs simulated ranks.
+// SolveLeastSquares dispatches through AutoFactorize when handed one.
+func AutoGrid(procs int) GridSpec { return GridSpec{C: 0, D: procs} }
+
 // SolveLeastSquares solves the overdetermined least-squares problem
 // min ‖A·x − b‖₂ for an m×n matrix A (m ≥ n, full rank) by factoring A
-// with CA-CQR2 on the given simulated grid and back-substituting
-// x = R⁻¹·Qᵀ·b. This is the workload the paper's introduction motivates:
-// very overdetermined systems in many variables.
+// on the given simulated grid and back-substituting x = R⁻¹·Qᵀ·b. This
+// is the workload the paper's introduction motivates: very
+// overdetermined systems in many variables.
+//
+// A spec with C == 0 (see AutoGrid) selects the auto mode: the planner
+// ranks every feasible variant and grid for up to spec.D ranks under
+// Options.MemBudget / Options.PlanMachine and the winner is executed.
 func SolveLeastSquares(a *Dense, b []float64, spec GridSpec, opts Options) ([]float64, error) {
 	if len(b) != a.Rows {
 		return nil, fmt.Errorf("cacqr: rhs length %d for %d rows", len(b), a.Rows)
 	}
-	res, err := FactorizeOnGrid(a, spec, opts)
+	var res *Result
+	var err error
+	if spec.C == 0 {
+		if spec.D < 1 {
+			return nil, fmt.Errorf("cacqr: auto grid needs a processor budget (use AutoGrid(procs))")
+		}
+		res, err = AutoFactorize(a, spec.D, opts)
+	} else {
+		res, err = FactorizeOnGrid(a, spec, opts)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -116,3 +116,74 @@ func TestSolveLeastSquaresValidation(t *testing.T) {
 		t.Fatal("mismatched rhs accepted (seq)")
 	}
 }
+
+// rankDeficient returns an m×n matrix of exact rank n−1 (one zero
+// column, so the Gram matrix is exactly singular) and a compatible rhs.
+func rankDeficient(m, n int, seed int64) (*Dense, []float64) {
+	a := RandomMatrix(m, n, seed)
+	for i := 0; i < m; i++ {
+		a.Set(i, n/2, 0)
+	}
+	return a, make([]float64, m)
+}
+
+func TestSolveLeastSquaresRankDeficientErrors(t *testing.T) {
+	// The CholeskyQR paths must report rank deficiency as an error, not
+	// panic: the Gram matrix is singular, so the distributed Cholesky
+	// fails cleanly.
+	a, b := rankDeficient(64, 8, 6)
+	if _, err := SolveLeastSquares(a, b, GridSpec{C: 2, D: 4}, Options{}); err == nil {
+		t.Fatal("rank-deficient A accepted on the grid path")
+	}
+	if _, err := SolveLeastSquares(a, b, AutoGrid(8), Options{}); err == nil {
+		t.Fatal("rank-deficient A accepted on the auto path")
+	}
+	// The sequential path falls back to the shifted (regularized)
+	// variant; it may solve or error, but must never panic or return
+	// non-finite values.
+	if x, err := SolveLeastSquaresSeq(a, b); err == nil {
+		for j, v := range x {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("seq fallback returned non-finite x[%d] = %v", j, v)
+			}
+		}
+	}
+}
+
+func TestSolveLeastSquaresInvalidOptionsError(t *testing.T) {
+	a, b, _ := buildSystem(32, 4, 7)
+	// Invalid grids: c ∤ d, d < c, negative c.
+	if _, err := SolveLeastSquares(a, b, GridSpec{C: 2, D: 3}, Options{}); err == nil {
+		t.Fatal("c∤d accepted")
+	}
+	if _, err := SolveLeastSquares(a, b, GridSpec{C: 4, D: 2}, Options{}); err == nil {
+		t.Fatal("d<c accepted")
+	}
+	if _, err := SolveLeastSquares(a, b, GridSpec{C: -1, D: 2}, Options{}); err == nil {
+		t.Fatal("negative c accepted")
+	}
+	// Auto mode without a processor budget.
+	if _, err := SolveLeastSquares(a, b, GridSpec{}, Options{}); err == nil {
+		t.Fatal("auto grid without procs accepted")
+	}
+	// Invalid Workers knob on both fixed and auto modes.
+	if _, err := SolveLeastSquares(a, b, GridSpec{C: 1, D: 4}, Options{Workers: -2}); err == nil {
+		t.Fatal("negative Workers accepted")
+	}
+	if _, err := SolveLeastSquares(a, b, AutoGrid(4), Options{Workers: -2}); err == nil {
+		t.Fatal("negative Workers accepted (auto)")
+	}
+}
+
+func TestSolveLeastSquaresAutoMode(t *testing.T) {
+	a, b, xTrue := buildSystem(128, 8, 9)
+	x, err := SolveLeastSquares(a, b, AutoGrid(8), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range x {
+		if math.Abs(x[j]-xTrue[j]) > 1e-10 {
+			t.Fatalf("x[%d] = %v, want %v", j, x[j], xTrue[j])
+		}
+	}
+}
