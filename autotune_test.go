@@ -175,9 +175,13 @@ func TestFactorizePlanExecutesChosenCandidate(t *testing.T) {
 	if e := ResidualNorm(a, res.Q, res.R); e > 1e-10 {
 		t.Fatalf("residual %g", e)
 	}
-	// Non-executable reference rows are rejected.
+	// A malformed hand-built plan (PGEQRF with a zero grid) is rejected
+	// with an error, not a panic.
 	if _, err := FactorizePlan(a, Plan{Variant: VariantPGEQRF}, Options{}); err == nil {
-		t.Fatal("PGEQRF reference row executed")
+		t.Fatal("zero-grid PGEQRF plan executed")
+	}
+	if _, err := FactorizePlan(a, Plan{Variant: Variant("nonsense")}, Options{}); err == nil {
+		t.Fatal("unknown variant executed")
 	}
 }
 
@@ -190,8 +194,8 @@ func TestIncludeBaselinesSurfacesPGEQRFRow(t *testing.T) {
 	for _, p := range plans {
 		if p.Variant == VariantPGEQRF {
 			found = true
-			if p.Executable {
-				t.Fatal("PGEQRF reference row marked executable")
+			if !p.Executable {
+				t.Fatal("PGEQRF reference row not executable (every priced row must dispatch)")
 			}
 		}
 	}

@@ -25,6 +25,7 @@ import (
 	"cacqr/internal/dist"
 	"cacqr/internal/grid"
 	"cacqr/internal/lin"
+	"cacqr/internal/pgeqrf"
 	"cacqr/internal/simmpi"
 	"cacqr/internal/tsqr"
 )
@@ -104,6 +105,18 @@ func ResidualNorm(a, q, r *Dense) float64 {
 	return lin.ResidualNorm(a.toLin(), q.toLin(), r.toLin())
 }
 
+// EstimateCondition returns a cheap power-iteration estimate of κ₂(A) —
+// the same measurement AutoFactorize makes when Options.CondEst is
+// unset. The well-conditioned path costs one n×n Gram SYRK plus a few
+// dozen n² matvecs; when κ ≳ ε^{-1/2} saturates that route, a
+// Householder-QR fallback (2mn², paid only on ill-conditioned inputs)
+// resolves κ up to ~1/ε, so the planner can still tell ShiftedCQR3's
+// regime from true TSQR territory. The estimate converges from below;
+// +Inf means numerically rank-deficient.
+func EstimateCondition(a *Dense) float64 {
+	return lin.EstimateCond(a.toLin(), condEstIters)
+}
+
 // RandomMatrix returns a deterministic random m×n test matrix.
 func RandomMatrix(m, n int, seed int64) *Dense {
 	return fromLin(lin.RandomMatrix(m, n, seed))
@@ -160,9 +173,19 @@ type Options struct {
 	// platform). Planner-only, like MemBudget.
 	PlanMachine *Machine
 	// IncludeBaselines adds the ScaLAPACK-style PGEQRF baseline to
-	// PlanGrid's ranking as a non-executable reference row (the grid the
-	// paper compares against). AutoFactorize never selects it.
+	// PlanGrid's ranking as a reference row (the grid the paper compares
+	// against). AutoFactorize never selects it, but FactorizePlan can
+	// execute it like any other row.
 	IncludeBaselines bool
+	// CondEst is a 2-norm condition-number hint κ₂(A) for the planner's
+	// condition-aware routing: variants whose predicted ‖QᵀQ−I‖ at that
+	// κ exceeds 1e-8 are rejected, which moves κ ≳ 10⁷ inputs off the
+	// plain CholeskyQR2 family and onto ShiftedCQR3 or TSQR. Leave it
+	// unset (0) and AutoFactorize runs a cheap power-iteration estimator
+	// on the matrix itself (PlanGrid, which never sees the matrix,
+	// treats 0 as "assume well-conditioned"). Negative or NaN values are
+	// rejected with an error. Planner-only, like MemBudget.
+	CondEst float64
 }
 
 // CostStats reports a run's measured per-processor cost in the paper's
@@ -182,6 +205,11 @@ type Result struct {
 	// Plan is the planner's choice when the run came from AutoFactorize
 	// (nil for the fixed-grid entry points).
 	Plan *Plan
+	// CondEst is the condition-number hint the planner routed on: the
+	// caller's Options.CondEst, or — when that was unset — the value
+	// the power-iteration estimator measured. Zero for the fixed-grid
+	// entry points and for FactorizePlan (which trusts the given plan).
+	CondEst float64
 }
 
 // FactorizeOnGrid runs CA-CQR2 on a simulated grid: the m×n matrix is
@@ -191,7 +219,7 @@ type Result struct {
 // gathered back. Requires d | m and c | n.
 func FactorizeOnGrid(a *Dense, spec GridSpec, opts Options) (*Result, error) {
 	m, n := a.Rows, a.Cols
-	if err := checkWorkers(opts); err != nil {
+	if err := checkOptions(opts); err != nil {
 		return nil, err
 	}
 	if spec.C < 1 || spec.D < spec.C || spec.D%spec.C != 0 {
@@ -273,7 +301,7 @@ func FactorizeOnGrid(a *Dense, spec GridSpec, opts Options) (*Result, error) {
 // replication buys nothing and the whole Gram matrix fits one rank.
 func Factorize1D(a *Dense, procs int, opts Options) (*Result, error) {
 	m, n := a.Rows, a.Cols
-	if err := checkWorkers(opts); err != nil {
+	if err := checkOptions(opts); err != nil {
 		return nil, err
 	}
 	if procs < 1 {
@@ -311,6 +339,53 @@ func Factorize1D(a *Dense, procs int, opts Options) (*Result, error) {
 	}, nil
 }
 
+// FactorizeShifted1D factors a tall matrix with the distributed shifted
+// CholeskyQR3 (one shifted CholeskyQR pass, then 1D-CQR2) on a simulated
+// 1D grid of procs ranks, each owning a contiguous m/procs row block
+// (requires procs | m; procs = 1 is the sequential ShiftedCQR3 with
+// measured cost accounting). It stays stable to κ(A) ≈ 1/ε — far beyond
+// CholeskyQR2's ~ε^{-1/2} regime — at ~1.5× the flops, and is what the
+// condition-aware planner dispatches for ill-conditioned tall inputs.
+func FactorizeShifted1D(a *Dense, procs int, opts Options) (*Result, error) {
+	m, n := a.Rows, a.Cols
+	if err := checkOptions(opts); err != nil {
+		return nil, err
+	}
+	if procs < 1 {
+		return nil, fmt.Errorf("cacqr: invalid processor count %d", procs)
+	}
+	if m%procs != 0 {
+		return nil, fmt.Errorf("cacqr: m=%d not divisible by P=%d", m, procs)
+	}
+	global := a.toLin()
+	var q, r *lin.Matrix
+	st, err := simmpi.RunWithOptions(procs, simmpi.Options{Timeout: simTimeout(opts)}, func(p *simmpi.Proc) error {
+		local := global.View(p.Rank()*(m/procs), 0, m/procs, n).Clone()
+		qL, rL, err := core.OneDShiftedCQR3(p.World(), local, m, n, opts.Workers)
+		if err != nil {
+			return err
+		}
+		qG, err := allgatherQ(p, qL, m, n)
+		if err != nil {
+			return err
+		}
+		if p.Rank() == 0 {
+			q, r = qG, rL
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Q: fromLin(q),
+		R: fromLin(r),
+		Stats: CostStats{
+			Msgs: st.MaxMsgs, Words: st.MaxWords, Flops: st.MaxFlops, Time: st.Time,
+		},
+	}, nil
+}
+
 // FactorizeTSQR factors a tall-skinny matrix with the binary-tree TSQR
 // baseline on a simulated 1D grid of procs ranks (a power of two). TSQR
 // is unconditionally stable — the right tool when κ(A) exceeds
@@ -319,7 +394,7 @@ func Factorize1D(a *Dense, procs int, opts Options) (*Result, error) {
 // which only needs m/procs ≥ panelWidth instead of m/procs ≥ n.
 func FactorizeTSQR(a *Dense, procs, panelWidth int, opts Options) (*Result, error) {
 	m, n := a.Rows, a.Cols
-	if err := checkWorkers(opts); err != nil {
+	if err := checkOptions(opts); err != nil {
 		return nil, err
 	}
 	if procs < 1 {
@@ -348,6 +423,102 @@ func FactorizeTSQR(a *Dense, procs, panelWidth int, opts Options) (*Result, erro
 		}
 		if p.Rank() == 0 {
 			q, r = qG, rL
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Q: fromLin(q),
+		R: fromLin(r),
+		Stats: CostStats{
+			Msgs: st.MaxMsgs, Words: st.MaxWords, Flops: st.MaxFlops, Time: st.Time,
+		},
+	}, nil
+}
+
+// FactorizePGEQRF factors an m×n matrix with the ScaLAPACK-style 2D
+// Householder baseline (internal/pgeqrf) on a simulated pr×pc process
+// grid with panel width nb (requires pr | m, nb | n, m ≥ n). The
+// factored form's reflectors are turned into the explicit reduced Q by
+// applying them to the distributed identity (the PDORGQR pattern), and
+// signs are normalized so R has a non-negative diagonal — directly
+// comparable with the CholeskyQR family. Unconditionally stable; this
+// is the execution path behind the planner's PGEQRF rows, making every
+// priced plan dispatchable. Note the measured Stats include the
+// explicit-Q formation and its m×n output Allreduce, which the cost
+// model's PGEQRF row (factorization only, the paper's comparison
+// object) deliberately does not price — unlike the CQR-family paths,
+// measured cost here exceeds the plan's prediction by that output
+// work.
+func FactorizePGEQRF(a *Dense, pr, pc, nb int, opts Options) (*Result, error) {
+	m, n := a.Rows, a.Cols
+	if err := checkOptions(opts); err != nil {
+		return nil, err
+	}
+	if pr < 1 || pc < 1 {
+		return nil, fmt.Errorf("cacqr: invalid process grid %dx%d", pr, pc)
+	}
+	if m < n {
+		return nil, fmt.Errorf("cacqr: PGEQRF requires m ≥ n, got %dx%d", m, n)
+	}
+	global := a.toLin()
+	var q, r *lin.Matrix
+	st, err := simmpi.RunWithOptions(pr*pc, simmpi.Options{Timeout: simTimeout(opts)}, func(p *simmpi.Proc) error {
+		g, err := pgeqrf.NewGrid(p.World(), pr, pc)
+		if err != nil {
+			return err
+		}
+		am, err := pgeqrf.NewMatrix(g, global, nb)
+		if err != nil {
+			return err
+		}
+		f, err := pgeqrf.Factor(am)
+		if err != nil {
+			return err
+		}
+		rG, err := f.GatherR()
+		if err != nil {
+			return err
+		}
+		// Explicit Q = Q·[Iₙ; 0]: apply the reflectors to this rank's
+		// block of the identity's first n columns (rows are cyclic over
+		// the pr process rows; process columns compute redundantly).
+		mloc := am.Local.Rows
+		e := lin.NewMatrix(mloc, n)
+		for li := 0; li < mloc; li++ {
+			if gi := li*pr + g.Row; gi < n {
+				e.Set(li, gi, 1)
+			}
+		}
+		qL, err := f.ApplyQ(e)
+		if err != nil {
+			return err
+		}
+		// Assemble the global Q: process column 0 contributes its rows,
+		// everyone else zeros, and a world Allreduce replicates the sum
+		// (the same output-path pattern as GatherR).
+		contrib := lin.NewMatrix(m, n)
+		if g.Col == 0 {
+			for li := 0; li < mloc; li++ {
+				gi := li*pr + g.Row
+				for j := 0; j < n; j++ {
+					contrib.Set(gi, j, qL.At(li, j))
+				}
+			}
+		}
+		qFlat, err := g.World.Allreduce(dist.Flatten(contrib))
+		if err != nil {
+			return err
+		}
+		qG, err := dist.Unflatten(m, n, qFlat)
+		if err != nil {
+			return err
+		}
+		if p.Rank() == 0 {
+			lin.NormalizeSigns(qG, rG)
+			q, r = qG, rG
 		}
 		return nil
 	})

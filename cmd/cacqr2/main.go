@@ -7,9 +7,12 @@
 // With -grid auto the cost-model planner chooses the algorithm variant
 // and grid over up to -p simulated ranks (optionally under a per-rank
 // -mem byte budget), prints the top-3 ranked plans, and executes the
-// winner:
+// winner. The choice is condition-aware: pass a κ₂(A) hint with
+// -condest, or let the CLI measure one by power iteration — an
+// ill-conditioned matrix (try -cond 1e10) is routed off the plain
+// CholeskyQR2 family onto shifted-cqr3 or tsqr:
 //
-//	cacqr2 -grid auto -m 4096 -n 256 -p 64 [-mem 4000000]
+//	cacqr2 -grid auto -m 4096 -n 256 -p 64 [-mem 4000000] [-condest 1e10]
 package main
 
 import (
@@ -33,6 +36,7 @@ func main() {
 	inv := flag.Int("inv", 0, "InverseDepth (top CFR3D levels without explicit inverse)")
 	base := flag.Int("base", 0, "CFR3D base-case size n_o (0 = default n/c²)")
 	cond := flag.Float64("cond", 0, "condition number of the test matrix (0 = generic random)")
+	condEst := flag.Float64("condest", 0, "condition hint for -grid auto routing (0 = estimate it from the matrix)")
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
 
@@ -42,7 +46,8 @@ func main() {
 	} else {
 		a = cacqr.RandomMatrix(*m, *n, *seed)
 	}
-	opts := cacqr.Options{InverseDepth: *inv, BaseSize: *base, MemBudget: *mem, IncludeBaselines: *baselines}
+	opts := cacqr.Options{InverseDepth: *inv, BaseSize: *base, MemBudget: *mem,
+		IncludeBaselines: *baselines, CondEst: *condEst}
 
 	var res *cacqr.Result
 	var err error
@@ -91,10 +96,23 @@ func main() {
 	}
 }
 
-// runAuto prints the planner's top-3 ranked plans, then executes the
-// winner through AutoFactorize.
+// runAuto estimates κ₂ when no -condest hint was given (the same
+// measurement AutoFactorize would make internally, surfaced so the
+// table explains why the CQR2 family may be absent), prints the
+// planner's top-3 ranked plans, and executes the best non-baseline row
+// through FactorizePlan — one enumeration, so the printed ranking and
+// the executed plan can never diverge.
 func runAuto(a *cacqr.Dense, procs int, opts cacqr.Options) (*cacqr.Result, error) {
 	m, n := a.Rows, a.Cols
+	// Condition-aware routing: use the caller's hint, or measure one —
+	// the same estimate AutoFactorize would make internally, surfaced
+	// here so the table explains why the CQR2 family may be absent.
+	if opts.CondEst == 0 {
+		opts.CondEst = cacqr.EstimateCondition(a)
+		fmt.Printf("estimated κ₂(A) ≈ %.3g (power iteration; +Inf = rank-deficient)\n", opts.CondEst)
+	} else {
+		fmt.Printf("using condition hint κ₂(A) = %.3g\n", opts.CondEst)
+	}
 	fmt.Printf("planning: %d x %d matrix, ≤%d simulated ranks", m, n, procs)
 	if opts.MemBudget > 0 {
 		fmt.Printf(", ≤%d bytes/rank", opts.MemBudget)
@@ -112,16 +130,20 @@ func runAuto(a *cacqr.Dense, procs int, opts cacqr.Options) (*cacqr.Result, erro
 			break
 		}
 		note := ""
-		if !p.Executable {
-			note = " [reference]"
+		if p.Variant == cacqr.VariantPGEQRF {
+			note = " [baseline]"
 		}
 		fmt.Printf("%-4d %-14s %-10s %6d %12d %12d %14d %11.3gs%s\n",
 			i+1, p.Variant, p.GridString(), p.Procs, p.Cost.Msgs, p.Cost.Words, p.Cost.TotalFlops(), p.Seconds, note)
 		fmt.Printf("     · %s (%d words/rank)\n", p.Rationale, p.MemWords)
 	}
+	// Pick the best non-baseline row, matching AutoFactorize's policy:
+	// the PGEQRF reference is dispatchable (run it via FactorizePlan
+	// yourself if you want the baseline's factors), but auto mode never
+	// silently executes it. Say so when a baseline out-ranks the winner.
 	winner := -1
 	for i, p := range plans {
-		if p.Executable {
+		if p.Executable && p.Variant != cacqr.VariantPGEQRF {
 			winner = i
 			break
 		}
@@ -129,10 +151,12 @@ func runAuto(a *cacqr.Dense, procs int, opts cacqr.Options) (*cacqr.Result, erro
 	if winner < 0 {
 		return nil, fmt.Errorf("no executable plan in the ranking")
 	}
+	if winner > 0 && plans[0].Variant == cacqr.VariantPGEQRF {
+		fmt.Printf("\n(the PGEQRF baseline out-ranks the winner; auto mode executes CQR-family plans only)\n")
+	}
 
-	// Execute the table's own winner (the best executable row) — no
-	// second enumeration, so the printed ranking can never diverge from
-	// the executed plan.
+	// Execute the table's own winner — no second enumeration, so the
+	// printed ranking can never diverge from the executed plan.
 	res, err := cacqr.FactorizePlan(a, plans[winner], opts)
 	if err != nil {
 		return nil, err

@@ -69,4 +69,23 @@ func main() {
 	fmt.Printf("  predicted γ=%d flops, measured γ=%d\n", res.Plan.Cost.TotalFlops(), res.Stats.Flops)
 	fmt.Printf("  predicted β=%d words, measured β=%d (difference is the final Q gather)\n",
 		res.Plan.Cost.Words, res.Stats.Words)
+
+	// Condition-aware routing: the same shape, but ill-conditioned.
+	// CholeskyQR2's Gram matrix squares κ, so at κ=1e10 the plain family
+	// cannot deliver orthogonality — the planner detects this (here via
+	// an explicit hint; leave CondEst unset and AutoFactorize measures
+	// one by power iteration) and routes to the shifted three-pass
+	// variant instead.
+	ill := cacqr.RandomWithCond(m, n, 1e10, 8)
+	if _, _, err := cacqr.CholeskyQR2(ill); err != nil {
+		fmt.Printf("\nκ=1e10 input: plain CholeskyQR2 fails (%v)\n", err)
+	}
+	resIll, err := cacqr.AutoFactorize(ill, p, cacqr.Options{CondEst: 1e10})
+	if err != nil {
+		log.Fatalf("condition-aware factorization failed: %v", err)
+	}
+	fmt.Printf("AutoFactorize with CondEst=1e10: chose %s %s\n",
+		resIll.Plan.Variant, resIll.Plan.GridString())
+	fmt.Printf("  orthogonality ‖QᵀQ−I‖_F = %.2e (predicted ≤ %.0e)\n",
+		cacqr.OrthogonalityError(resIll.Q), resIll.Plan.PredOrth)
 }

@@ -80,8 +80,7 @@ func ShiftedCholeskyQR(a *lin.Matrix, workers int) (q, r *lin.Matrix, err error)
 			norm2sq += d
 		}
 	}
-	const eps = 2.220446049250313e-16
-	s := 11 * float64(m*n+n*(n+1)) * eps * norm2sq
+	s := 11 * float64(m*n+n*(n+1)) * lin.Eps * norm2sq
 	for i := 0; i < n; i++ {
 		w.Set(i, i, w.At(i, i)+s)
 	}
@@ -115,6 +114,5 @@ func ShiftedCQR3(a *lin.Matrix, workers int) (q, r *lin.Matrix, err error) {
 // CanCQR2Handle reports the §I stability criterion: CholeskyQR2 delivers
 // Householder-level orthogonality when κ(A) = O(1/√ε).
 func CanCQR2Handle(cond float64) bool {
-	const eps = 2.220446049250313e-16
-	return cond < 1/math.Sqrt(eps)/8
+	return cond < 1/math.Sqrt(lin.Eps)/8
 }

@@ -204,6 +204,26 @@ func OneDCQR2(m, n, p int) (Cost, error) {
 	return c, nil
 }
 
+// OneDShiftedCQR3 models core.OneDShiftedCQR3: one shifted CholeskyQR
+// pass (whose charges are exactly OneDCQR's — the diagonal shift is O(n)
+// uncharged local work on the already-replicated Gram matrix), then
+// OneDCQR2 on the result, then the local triangular product R = R₂₃·R₁
+// ((1/3)n³ flops). ~1.5× OneDCQR2's cost, stable to κ ≈ 1/ε.
+func OneDShiftedCQR3(m, n, p int) (Cost, error) {
+	one, err := OneDCQR(m, n, p)
+	if err != nil {
+		return Cost{}, err
+	}
+	two, err := OneDCQR2(m, n, p)
+	if err != nil {
+		return Cost{}, err
+	}
+	c := one.Add(two)
+	nn := int64(n)
+	c.Flops += nn * nn * nn / 3 // R = R₂₃·R₁
+	return c, nil
+}
+
 // PanelCACQR2 models core.PanelCACQR2: panel-wise CA-CQR2 with
 // Householder-style trailing updates (the paper's §V subpanel proposal).
 // Per panel of width b: one CA-CQR2 of the m×b panel, then the
@@ -269,6 +289,42 @@ func TSQR(m, n, p int) (Cost, error) {
 	c = c.Add(Bcast(nn*nn, p))
 	// Final Q assembly.
 	c.Flops += 2 * mloc * nn * nn
+	return c, nil
+}
+
+// BlockedTSQR models tsqr.BlockedFactor on a 1D grid of p processors:
+// per width-b panel, one reduction-tree TSQR of the m×b panel (the TSQR
+// recurrence above, which is the busiest rank's cost), then — for the
+// trailing columns — two BGS2 reorthogonalization passes, each a local
+// b×rest projection (2·(m/p)·b·rest flops), an Allreduce of the b·rest
+// coefficient block, and the local rank-b update (2·(m/p)·rest·b flops).
+// Mirrors the implementation's charges exactly, so e2e runs measure this
+// prediction plus only the final Q gather.
+func BlockedTSQR(m, n, b, p int) (Cost, error) {
+	if b < 1 || n%b != 0 {
+		return Cost{}, fmt.Errorf("costmodel: blocked-tsqr panel width %d does not divide n=%d", b, n)
+	}
+	if m%p != 0 || m/p < b {
+		return Cost{}, fmt.Errorf("costmodel: blocked-tsqr shape m=%d b=%d P=%d", m, b, p)
+	}
+	mloc := int64(m / p)
+	var c Cost
+	np := n / b
+	for k := 0; k < np; k++ {
+		pc, err := TSQR(m, b, p)
+		if err != nil {
+			return Cost{}, err
+		}
+		c = c.Add(pc)
+		rest := int64(n - (k+1)*b)
+		if rest == 0 {
+			continue
+		}
+		// Two BGS2 passes: project, Allreduce, update.
+		c.Flops += 2 * (2 * int64(b) * rest * mloc)
+		c = c.Add(Allreduce(int64(b)*rest, p).Scale(2))
+		c.Flops += 2 * (2 * mloc * rest * int64(b))
+	}
 	return c, nil
 }
 

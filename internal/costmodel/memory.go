@@ -47,6 +47,24 @@ func OneDCQR2Memory(m, n, p int) (int64, error) {
 	return 3*mloc*nn + 5*nn*nn, nil
 }
 
+// OneDShiftedCQR3Memory returns the peak per-process words of the
+// distributed shifted CholeskyQR3 (core.OneDShiftedCQR3) on p
+// processors: the OneDCQR2 footprint plus one extra live row block (the
+// shifted pass's Q₁, still held while CQR2 refines it) and the extra R₁
+// factor:
+//
+//	A, Q₁, Q₂, Q (row blocks)   — 4 · mn/p
+//	X, Z, L, Y, R₁, R₂₃, R      — 6 · n² (rounded up from CQR2's 5)
+func OneDShiftedCQR3Memory(m, n, p int) (int64, error) {
+	base, err := OneDCQR2Memory(m, n, p)
+	if err != nil {
+		return 0, err
+	}
+	mloc := int64(m / p)
+	nn := int64(n)
+	return base + mloc*nn + nn*nn, nil
+}
+
 // TSQRMemory returns the peak per-process words of the binary-tree TSQR
 // (internal/tsqr) on p processors: the local block, its Householder Q,
 // and the assembled output block (3 · mn/p), plus the up-sweep path of
@@ -59,6 +77,26 @@ func TSQRMemory(m, n, p int) (int64, error) {
 	mloc := int64(m / p)
 	nn := int64(n)
 	return 3*mloc*nn + (2*log2Ceil(p)+5)*nn*nn, nil
+}
+
+// BlockedTSQRMemory returns the peak per-process words of the blocked
+// TSQR (tsqr.BlockedFactor) on p processors: the local block, its
+// working copy, and the accumulated Q (3 · mn/p), the replicated n×n R,
+// the widest panel's own tree footprint (TSQRMemory of the m×b panel),
+// and the BGS2 coefficient strips (3 · b·(n−b): partial, allreduced
+// coefficients, and the accumulated off-diagonal R block).
+func BlockedTSQRMemory(m, n, b, p int) (int64, error) {
+	if b < 1 || n%b != 0 {
+		return 0, fmt.Errorf("costmodel: blocked-tsqr panel width %d does not divide n=%d", b, n)
+	}
+	panel, err := TSQRMemory(m, b, p)
+	if err != nil {
+		return 0, err
+	}
+	mloc := int64(m / p)
+	nn := int64(n)
+	bb := int64(b)
+	return 3*mloc*nn + nn*nn + panel + 3*bb*(nn-bb), nil
 }
 
 // PanelCACQR2Memory returns the peak per-process words of the panel-wise

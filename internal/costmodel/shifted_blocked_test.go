@@ -1,0 +1,129 @@
+package costmodel
+
+import "testing"
+
+func TestOneDShiftedCQR3Composition(t *testing.T) {
+	// The row is one shifted pass (charged exactly as OneDCQR), the
+	// CQR2 refinement, and the final (1/3)n³ triangular product —
+	// mirroring core.OneDShiftedCQR3's Compute calls line by line.
+	const m, n, p = 1024, 64, 8
+	got, err := OneDShiftedCQR3(m, n, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := OneDCQR(m, n, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := OneDCQR2(m, n, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := one.Add(two)
+	want.Flops += int64(n) * int64(n) * int64(n) / 3
+	if got != want {
+		t.Fatalf("OneDShiftedCQR3 = %v, want %v", got, want)
+	}
+	// ~1.5× CQR2 in flops, identical α scaling class.
+	if got.Flops <= two.Flops || got.Flops >= 2*two.Flops {
+		t.Fatalf("shifted flops %d not in (1, 2)× CQR2's %d", got.Flops, two.Flops)
+	}
+	if _, err := OneDShiftedCQR3(100, 64, 8); err == nil {
+		t.Fatal("indivisible m accepted")
+	}
+}
+
+func TestOneDShiftedCQR3Memory(t *testing.T) {
+	const m, n, p = 1024, 64, 8
+	shifted, err := OneDShiftedCQR3Memory(m, n, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := OneDCQR2Memory(m, n, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if extra := shifted - base; extra != int64(m/p)*int64(n)+int64(n)*int64(n) {
+		t.Fatalf("shifted footprint adds %d words, want one row block + one n²", extra)
+	}
+	if _, err := OneDShiftedCQR3Memory(100, 64, 8); err == nil {
+		t.Fatal("indivisible m accepted")
+	}
+}
+
+func TestBlockedTSQRReducesToPlainAtFullWidth(t *testing.T) {
+	// b = n is a single panel with no trailing update: the blocked
+	// recurrence must collapse to the plain TSQR row exactly.
+	const m, n, p = 1024, 64, 8
+	blocked, err := BlockedTSQR(m, n, n, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := TSQR(m, n, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blocked != plain {
+		t.Fatalf("BlockedTSQR(b=n) = %v, want plain %v", blocked, plain)
+	}
+}
+
+func TestBlockedTSQRHandSum(t *testing.T) {
+	// Two panels, hand-summed: 2 tree factorizations of the m×b panel
+	// plus one BGS2 round (two passes of project + Allreduce + update).
+	const m, n, b, p = 256, 32, 16, 4
+	got, err := BlockedTSQR(m, n, b, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	panel, err := TSQR(m, b, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := panel.Scale(2)
+	mloc := int64(m / p)
+	rest := int64(n - b)
+	want.Flops += 2 * (2 * int64(b) * rest * mloc) // projections
+	want = want.Add(Allreduce(int64(b)*rest, p).Scale(2))
+	want.Flops += 2 * (2 * mloc * rest * int64(b)) // updates
+	if got != want {
+		t.Fatalf("BlockedTSQR = %v, want %v", got, want)
+	}
+}
+
+func TestBlockedTSQRErrors(t *testing.T) {
+	if _, err := BlockedTSQR(256, 32, 5, 4); err == nil {
+		t.Fatal("b ∤ n accepted")
+	}
+	if _, err := BlockedTSQR(256, 32, 0, 4); err == nil {
+		t.Fatal("b = 0 accepted")
+	}
+	if _, err := BlockedTSQR(256, 32, 128, 4); err == nil {
+		t.Fatal("b > m/p accepted")
+	}
+	if _, err := BlockedTSQR(100, 32, 16, 8); err == nil {
+		t.Fatal("p ∤ m accepted")
+	}
+	if _, err := BlockedTSQRMemory(256, 32, 5, 4); err == nil {
+		t.Fatal("memory: b ∤ n accepted")
+	}
+}
+
+func TestBlockedTSQRMemoryDominatesPanelTree(t *testing.T) {
+	const m, n, b, p = 256, 64, 16, 8
+	mem, err := BlockedTSQRMemory(m, n, b, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	panel, err := TSQRMemory(m, b, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mem <= panel {
+		t.Fatalf("blocked footprint %d not above its panel tree %d", mem, panel)
+	}
+	// The full-width working set (3 row blocks + R) must be included.
+	if floor := 3*int64(m/p)*int64(n) + int64(n)*int64(n); mem < floor {
+		t.Fatalf("blocked footprint %d below working-set floor %d", mem, floor)
+	}
+}

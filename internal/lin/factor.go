@@ -207,6 +207,18 @@ func QR(a *Matrix) (q, r *Matrix, err error) {
 	}
 	q = f.FormQ()
 	r = f.R
+	NormalizeSigns(q, r)
+	return q, r, nil
+}
+
+// NormalizeSigns flips, in place, each row i of R with a negative
+// diagonal entry together with column i of Q. Q·R is unchanged, and R
+// gains the non-negative diagonal that makes a reduced QR factorization
+// unique — the convention every factorization in this repository
+// returns, so results from Householder, TSQR, PGEQRF, and the
+// CholeskyQR family (whose R is non-negative by construction) are
+// directly comparable.
+func NormalizeSigns(q, r *Matrix) {
 	for i := 0; i < r.Rows; i++ {
 		if r.Data[i*r.Stride+i] < 0 {
 			for j := i; j < r.Cols; j++ {
@@ -217,5 +229,4 @@ func QR(a *Matrix) (q, r *Matrix, err error) {
 			}
 		}
 	}
-	return q, r, nil
 }

@@ -6,6 +6,12 @@ import "math"
 // experiments (orthogonality loss ‖QᵀQ−I‖ and residual ‖A−QR‖ as
 // functions of κ(A), per the paper's §I stability discussion).
 
+// Eps is float64 machine epsilon (2⁻⁵²), the ε of every stability bound
+// in this repository: the §I criterion κ ≲ ε^{-1/2}, Fukaya et al.'s
+// shift s = 11(mn+n(n+1))·ε·‖A‖², and the planner's orthogonality gate
+// all share this one constant so they can never desynchronize.
+const Eps = 2.220446049250313e-16
+
 // FrobeniusNorm returns ‖M‖_F.
 func FrobeniusNorm(m *Matrix) float64 {
 	var s float64
@@ -57,25 +63,41 @@ func ResidualNorm(a, q, r *Matrix) float64 {
 }
 
 // TwoNormCond estimates the 2-norm condition number κ₂(A) = σ_max/σ_min
-// by power iteration on AᵀA and inverse iteration via the R factor of a
-// Householder QR. Adequate for validating the conditioned-matrix
-// generator; not a general-purpose SVD.
-func TwoNormCond(a *Matrix) float64 {
+// by power iteration on AᵀA and inverse iteration via the Cholesky
+// factor. Adequate for validating the conditioned-matrix generator; not
+// a general-purpose SVD.
+func TwoNormCond(a *Matrix) float64 { return EstimateCond(a, 200) }
+
+// EstimateCond is the cheap condition-number estimator behind
+// TwoNormCond, with a caller-chosen iteration count (the planner uses
+// ~50 iterations: one n×n Gram SYRK plus O(iters·n²) matvec work, cheap
+// next to any factorization of the same matrix). The Gram route can
+// only resolve κ ≲ ε^{-1/2} — beyond that its Cholesky factor fails —
+// so when it saturates the estimator falls back to a Householder QR of
+// A (backward stable, 2mn² flops, paid only on the ill-conditioned
+// path) and inverse-iterates against R, resolving κ up to ~1/ε. +Inf
+// therefore means genuinely rank-deficient, not merely "worse than
+// 1e8". Power iteration converges from below, so the estimate is a
+// (usually tight) lower bound on κ₂(A).
+func EstimateCond(a *Matrix, iters int) float64 {
+	if iters < 1 {
+		iters = 1
+	}
 	g := SyrkNew(a) // AᵀA, spectrum = squared singular values
 	n := g.Rows
 	if n == 0 {
 		return 0
 	}
-	smax := math.Sqrt(powerIterate(g, 200))
+	smax := math.Sqrt(powerIterate(g, iters))
 	// σ_min via power iteration on (AᵀA)⁻¹ using the Cholesky factor.
 	l, err := Cholesky(g)
 	if err != nil {
-		return math.Inf(1)
+		return qrEstimateCond(a, iters, smax)
 	}
 	// (AᵀA)⁻¹ x = L⁻ᵀ L⁻¹ x.
 	x := onesVector(n)
 	var lam float64
-	for it := 0; it < 200; it++ {
+	for it := 0; it < iters; it++ {
 		Trsm(Left, Lower, false, l, x)
 		Trsm(Left, Lower, true, l, x)
 		lam = FrobeniusNorm(x)
@@ -85,6 +107,47 @@ func TwoNormCond(a *Matrix) float64 {
 		x.Scale(1 / lam)
 	}
 	smin := math.Sqrt(1 / lam)
+	return smax / smin
+}
+
+// qrEstimateCond resolves condition numbers beyond the Gram route's
+// ~ε^{-1/2} ceiling: a Householder QR of A shares A's singular values
+// through R, and inverse iteration on (RᵀR)⁻¹ needs only triangular
+// solves — no Cholesky of the squared spectrum. smax is the already
+// converged largest singular value from the Gram power iteration
+// (accurate regardless of κ). Returns +Inf only for a numerically
+// rank-deficient R.
+func qrEstimateCond(a *Matrix, iters int, smax float64) float64 {
+	f, err := HouseholderQR(a)
+	if err != nil {
+		return math.Inf(1)
+	}
+	// Work with L = Rᵀ (same singular values) so the solves use the
+	// implemented Lower-triangular Trsm variants, exactly like the
+	// Cholesky-based path above.
+	l := f.R.T()
+	n := l.Rows
+	for i := 0; i < n; i++ {
+		if l.At(i, i) == 0 {
+			return math.Inf(1)
+		}
+	}
+	x := onesVector(n)
+	var lam float64
+	for it := 0; it < iters; it++ {
+		// (RᵀR)⁻¹ x = (L Lᵀ)⁻¹ x = L⁻ᵀ (L⁻¹ x).
+		Trsm(Left, Lower, false, l, x)
+		Trsm(Left, Lower, true, l, x)
+		lam = FrobeniusNorm(x)
+		if lam == 0 || math.IsInf(lam, 0) || math.IsNaN(lam) {
+			return math.Inf(1)
+		}
+		x.Scale(1 / lam)
+	}
+	smin := math.Sqrt(1 / lam)
+	if smin == 0 {
+		return math.Inf(1)
+	}
 	return smax / smin
 }
 

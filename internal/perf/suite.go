@@ -54,6 +54,14 @@ func Suite(quick bool, workers int) []Case {
 	d1A := cacqr.RandomMatrix(d1M, d1N, 207)
 	d3A := cacqr.RandomMatrix(d3M, d3N, 208)
 	tsA := cacqr.RandomMatrix(tsM, tsN, 209)
+	// The condition-estimator case measures what AutoFactorize pays per
+	// request when no CondEst hint is given, on the expensive path: at
+	// κ=1e10 the Gram route's Cholesky fails and the estimator runs its
+	// Householder-QR fallback (2mn²) — the worst case a caller sees.
+	// The shifted case is the stable three-pass fallback the
+	// condition-aware router dispatches for κ ≳ 10⁷.
+	ceA := lin.RandomWithCond(sm, sn, 1e10, 210)
+	shA := cacqr.RandomWithCond(d1M, d1N, 1e10, 211)
 	opts := cacqr.Options{Workers: workers}
 
 	nameSz := func(base string, dims ...int) string {
@@ -137,6 +145,32 @@ func Suite(quick bool, workers int) []Case {
 					return Stats{}, err
 				}
 				return Stats{Msgs: res.Stats.Msgs, Words: res.Stats.Words}, nil
+			},
+		},
+		{
+			// The condition-aware router's fallback: distributed shifted
+			// CholeskyQR3 at the 1D shape and rank count, on an input
+			// plain CQR2 cannot factor (κ=1e10). ~1.5× the cacqr2-1d
+			// row's flops is the price of unconditional-ish stability.
+			Name:  nameSz("shifted-cqr3", d1M, d1N) + "-p" + itoa(d1P),
+			Flops: 3 * lin.CQR2Flops(d1M, d1N) / 2,
+			Run: func() (Stats, error) {
+				res, err := cacqr.FactorizeShifted1D(shA, d1P, opts)
+				if err != nil {
+					return Stats{}, err
+				}
+				return Stats{Msgs: res.Stats.Msgs, Words: res.Stats.Words}, nil
+			},
+		},
+		{
+			// Condition-estimator overhead on the ill-conditioned path:
+			// the Gram SYRK + 50 power iterations, then the
+			// Householder-QR fallback once the Gram Cholesky fails.
+			Name:  nameSz("cond-estimate", sm, sn),
+			Flops: lin.SyrkFlops(sm, sn) + lin.HouseholderQRFlops(sm, sn),
+			Run: func() (Stats, error) {
+				lin.EstimateCond(ceA, 50)
+				return Stats{}, nil
 			},
 		},
 		{

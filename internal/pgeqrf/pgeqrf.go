@@ -366,6 +366,48 @@ func (f *Factors) ApplyQT(b *lin.Matrix) (*lin.Matrix, error) {
 	return out, nil
 }
 
+// ApplyQ applies Q to a right-hand side distributed like A's rows —
+// the inverse of ApplyQT: panels run in reverse order and each applies
+// the block reflector I − V·T·Vᵀ (W = T·(VᵀB) instead of Tᵀ·(VᵀB)).
+// Applying it to the distributed identity's first n columns forms the
+// explicit reduced Q (the PDORGQR pattern), which is how the public
+// FactorizePlan entry point turns the factored form into the package's
+// (Q, R) contract.
+func (f *Factors) ApplyQ(b *lin.Matrix) (*lin.Matrix, error) {
+	a := f.A
+	g := a.G
+	if b.Rows != a.Local.Rows {
+		return nil, fmt.Errorf("pgeqrf: rhs has %d local rows, want %d", b.Rows, a.Local.Rows)
+	}
+	out := b.Clone()
+	for i := len(f.panels) - 1; i >= 0; i-- {
+		pan := f.panels[i]
+		rows := pan.vAct.Rows
+		if rows == 0 {
+			continue
+		}
+		nb := pan.vAct.Cols
+		act := out.View(pan.li0, 0, rows, out.Cols)
+		w := lin.NewMatrix(nb, out.Cols)
+		lin.Gemm(true, false, 1, pan.vAct, act, 0, w)
+		if err := g.proc.Compute(lin.GemmFlops(nb, out.Cols, rows)); err != nil {
+			return nil, err
+		}
+		wFlat, err := g.ColComm.Allreduce(flatten(w))
+		if err != nil {
+			return nil, err
+		}
+		wAll := lin.FromSlice(nb, out.Cols, wFlat)
+		tw := lin.NewMatrix(nb, out.Cols)
+		lin.Gemm(false, false, 1, pan.t, wAll, 0, tw)
+		lin.Gemm(false, false, -1, pan.vAct, tw, 1, act)
+		if err := g.proc.Compute(lin.GemmFlops(nb, out.Cols, nb) + lin.GemmFlops(rows, out.Cols, nb)); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
 // GatherR assembles the n×n upper-triangular factor on every rank by a
 // world allreduce of each process's contributions (a test/output path,
 // not part of the timed algorithm).

@@ -2,6 +2,7 @@ package plan
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"cacqr/internal/costmodel"
@@ -9,10 +10,13 @@ import (
 
 // Enumerate prices every feasible plan for the request and returns them
 // ranked by predicted time (ascending; ties keep the canonical
-// enumeration order: Sequential, 1D-CQR2 by rank count, CA-CQR2 by
-// (c, d), the panel variant by (c, d, b), TSQR by rank count). Plans
-// whose modeled per-rank footprint exceeds the memory budget are
-// rejected. An empty request or one with no feasible plan is an error.
+// enumeration order: Sequential, 1D-CQR2 by rank count, ShiftedCQR3 by
+// rank count, CA-CQR2 by (c, d), the panel variant by (c, d, b), TSQR
+// by rank count, blocked TSQR by (p, b)). Plans whose modeled per-rank
+// footprint exceeds the memory budget, or whose predicted orthogonality
+// loss at Request.CondEst exceeds Request.OrthTol, are rejected. An
+// empty request, a NaN/negative CondEst, or a request with no feasible
+// plan is an error.
 func Enumerate(req Request) ([]Plan, error) {
 	if req.M < 1 || req.N < 1 {
 		return nil, fmt.Errorf("plan: invalid shape %dx%d", req.M, req.N)
@@ -23,16 +27,29 @@ func Enumerate(req Request) ([]Plan, error) {
 	if req.Procs < 1 {
 		return nil, fmt.Errorf("plan: invalid processor budget %d", req.Procs)
 	}
+	if math.IsNaN(req.CondEst) || req.CondEst < 0 {
+		return nil, fmt.Errorf("plan: invalid condition estimate %g (want ≥ 0; 0 = unknown)", req.CondEst)
+	}
 	mach := req.Machine
 	if mach == (costmodel.Machine{}) {
 		mach = costmodel.Stampede2
 	} else if err := checkMachine(mach); err != nil {
 		return nil, err
 	}
+	orthTol := req.OrthTol
+	if orthTol <= 0 {
+		orthTol = DefaultOrthTol
+	}
 
 	var plans []Plan
+	rejectedByCond := false
 	add := func(p Plan) {
 		if req.MemBudget > 0 && p.MemBytes() > req.MemBudget {
+			return
+		}
+		p.PredOrth = PredictOrthogonality(p.Variant, req.M, req.N, p.PanelWidth, req.CondEst)
+		if req.CondEst > 1 && p.PredOrth > orthTol {
+			rejectedByCond = true
 			return
 		}
 		p.Seconds = mach.Time(p.Cost)
@@ -45,10 +62,16 @@ func Enumerate(req Request) ([]Plan, error) {
 	for _, p := range oneDCandidates(req) {
 		add(p)
 	}
+	for _, p := range shiftedCandidates(req) {
+		add(p)
+	}
 	for _, p := range gridCandidates(req) {
 		add(p)
 	}
 	for _, p := range tsqrCandidates(req) {
+		add(p)
+	}
+	for _, p := range blockedTSQRCandidates(req) {
 		add(p)
 	}
 	if req.IncludeBaselines {
@@ -57,6 +80,10 @@ func Enumerate(req Request) ([]Plan, error) {
 		}
 	}
 	if len(plans) == 0 {
+		if rejectedByCond {
+			return nil, fmt.Errorf("plan: no variant meets ‖QᵀQ−I‖ ≤ %g at κ≈%g for %dx%d on ≤%d ranks",
+				orthTol, req.CondEst, req.M, req.N, req.Procs)
+		}
 		return nil, fmt.Errorf("plan: no feasible plan for %dx%d on ≤%d ranks (budget %d bytes)",
 			req.M, req.N, req.Procs, req.MemBudget)
 	}
@@ -126,7 +153,36 @@ func oneDCandidates(req Request) []Plan {
 		}
 		out = append(out, Plan{
 			Variant: OneD, C: 1, D: p, Procs: p, Cost: cost, MemWords: mem,
-			Rationale: fmt.Sprintf("c=1 tall-skinny regime: n²-word Gram Allreduce over %d ranks, no replication", p),
+			Rationale:  fmt.Sprintf("c=1 tall-skinny regime: n²-word Gram Allreduce over %d ranks, no replication", p),
+			Executable: true,
+		})
+	}
+	return out
+}
+
+// shiftedCandidates enumerates the three-pass shifted CholeskyQR3 over
+// every 1D rank count (p = 1 is the sequential case). At ~1.5× the
+// CholeskyQR2 cost it never outranks the plain family on well-behaved
+// inputs; its reason to exist is the condition gate — when CondEst puts
+// κ(A) beyond the CQR2 family's ε^{-1/2} regime, these rows (and the
+// Householder baselines) are all that survive.
+func shiftedCandidates(req Request) []Plan {
+	var out []Plan
+	for p := 1; p <= req.Procs; p++ {
+		if req.M%p != 0 {
+			continue
+		}
+		cost, err := costmodel.OneDShiftedCQR3(req.M, req.N, p)
+		if err != nil {
+			continue
+		}
+		mem, err := costmodel.OneDShiftedCQR3Memory(req.M, req.N, p)
+		if err != nil {
+			continue
+		}
+		out = append(out, Plan{
+			Variant: ShiftedCQR3, C: 1, D: p, Procs: p, Cost: cost, MemWords: mem,
+			Rationale:  fmt.Sprintf("shifted CholeskyQR3 over %d ranks: stable far beyond CQR2's κ≈1e7 ceiling at ~1.5× the flops", p),
 			Executable: true,
 		})
 	}
@@ -158,7 +214,7 @@ func gridCandidates(req Request) []Plan {
 			}
 			out = append(out, Plan{
 				Variant: CACQR2, C: c, D: d, Procs: c * d * c, Cost: cost, MemWords: mem,
-				Rationale: fmt.Sprintf("c=%d replicates the Gram work to cut words/rank ~√c at %d× memory, d=%d row blocks", c, c, d),
+				Rationale:  fmt.Sprintf("c=%d replicates the Gram work to cut words/rank ~√c at %d× memory, d=%d row blocks", c, c, d),
 				Executable: true,
 			})
 			out = append(out, panelCandidates(req, c, d)...)
@@ -184,7 +240,7 @@ func panelCandidates(req Request, c, d int) []Plan {
 		}
 		out = append(out, Plan{
 			Variant: PanelCACQR2, C: c, D: d, PanelWidth: b, Procs: c * d * c, Cost: cost, MemWords: mem,
-			Rationale: fmt.Sprintf("width-%d panels cut the flop overhead toward Householder's 2mn² at %d extra synchronizations", b, req.N/b-1),
+			Rationale:  fmt.Sprintf("width-%d panels cut the flop overhead toward Householder's 2mn² at %d extra synchronizations", b, req.N/b-1),
 			Executable: true,
 		})
 	}
@@ -209,17 +265,50 @@ func tsqrCandidates(req Request) []Plan {
 		}
 		out = append(out, Plan{
 			Variant: TSQR, C: 1, D: p, Procs: p, Cost: cost, MemWords: mem,
-			Rationale: fmt.Sprintf("binary-tree Householder over %d ranks: unconditionally stable, log p small QRs on the critical path", p),
+			Rationale:  fmt.Sprintf("binary-tree Householder over %d ranks: unconditionally stable, log p small QRs on the critical path", p),
 			Executable: true,
 		})
 	}
 	return out
 }
 
+// blockedTSQRCandidates enumerates the blocked (BGS2) TSQR variant over
+// power-of-two rank counts where the plain tree is infeasible (m/p < n)
+// — its reason to exist is lifting that restriction to m/p ≥ b. Panel
+// widths run over the divisors of n that still fit a local block.
+func blockedTSQRCandidates(req Request) []Plan {
+	var out []Plan
+	for p := 2; p <= req.Procs; p *= 2 {
+		if req.M%p != 0 || req.M/p >= req.N {
+			continue
+		}
+		for b := 1; b < req.N && b <= req.M/p; b++ {
+			if req.N%b != 0 {
+				continue
+			}
+			cost, err := costmodel.BlockedTSQR(req.M, req.N, b, p)
+			if err != nil {
+				continue
+			}
+			mem, err := costmodel.BlockedTSQRMemory(req.M, req.N, b, p)
+			if err != nil {
+				continue
+			}
+			out = append(out, Plan{
+				Variant: TSQR, C: 1, D: p, PanelWidth: b, Procs: p, Cost: cost, MemWords: mem,
+				Rationale:  fmt.Sprintf("blocked TSQR over %d ranks: width-%d panels lift the m/p ≥ n restriction (BGS2 cross-panel loss O(ε·κ))", p, b),
+				Executable: true,
+			})
+		}
+	}
+	return out
+}
+
 // pgeqrfReference prices the ScaLAPACK-style baseline and returns only
-// the cheapest configuration found, as a non-executable reference row:
-// pr over divisors of m, pc over powers of two with pr·pc ≤ Procs, and
-// nb over divisors of n up to 64.
+// the cheapest configuration found as a reference row (executable via
+// FactorizePlan, never preferred by Best): pr over divisors of m, pc
+// over powers of two with pr·pc ≤ Procs, and nb over divisors of n up
+// to 64.
 func pgeqrfReference(req Request, mach costmodel.Machine) (Plan, bool) {
 	var best Plan
 	found := false
@@ -243,8 +332,8 @@ func pgeqrfReference(req Request, mach costmodel.Machine) (Plan, bool) {
 				p := Plan{
 					Variant: PGEQRF, C: pc, D: pr, PanelWidth: nb, Procs: pr * pc,
 					Cost: cost, MemWords: mem,
-					Rationale:  fmt.Sprintf("ScaLAPACK-style reference on a %d×%d grid, nb=%d (not dispatchable)", pr, pc, nb),
-					Executable: false,
+					Rationale:  fmt.Sprintf("ScaLAPACK-style reference on a %d×%d grid, nb=%d", pr, pc, nb),
+					Executable: true,
 				}
 				p.Seconds = mach.Time(p.Cost)
 				if !found || p.Seconds < best.Seconds {

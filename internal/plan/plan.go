@@ -21,8 +21,10 @@ package plan
 
 import (
 	"fmt"
+	"math"
 
 	"cacqr/internal/costmodel"
+	"cacqr/internal/lin"
 )
 
 // Variant names an algorithm the planner can select.
@@ -38,10 +40,19 @@ const (
 	// PanelCACQR2 is the §V panel-wise variant on a c × d × c grid.
 	PanelCACQR2 Variant = "panel-ca-cqr2"
 	// TSQR is the binary-tree Householder baseline (power-of-two ranks).
+	// Rows with PanelWidth > 0 are the blocked variant (BGS2 panel
+	// updates), which lifts the m/p ≥ n restriction to m/p ≥ b and is
+	// enumerated exactly where plain TSQR is infeasible.
 	TSQR Variant = "tsqr"
-	// PGEQRF is the ScaLAPACK-style 2D Householder baseline. It is
-	// priced only as a reference row (Request.IncludeBaselines); the
-	// planner never selects it for execution.
+	// ShiftedCQR3 is the three-pass shifted CholeskyQR3 (Fukaya et al.)
+	// on a 1D grid: ~1.5× OneD's cost, stable to κ ≈ 1/ε where the
+	// CholeskyQR2 family breaks down at κ ≈ ε^{-1/2}. The
+	// condition-aware router's fallback for ill-conditioned inputs.
+	ShiftedCQR3 Variant = "shifted-cqr3"
+	// PGEQRF is the ScaLAPACK-style 2D Householder baseline, priced as a
+	// reference row (Request.IncludeBaselines) that the ranking never
+	// prefers for execution — Best skips baselines — but which
+	// FactorizePlan can now dispatch like any other row.
 	PGEQRF Variant = "pgeqrf"
 )
 
@@ -62,11 +73,83 @@ type Request struct {
 	// InverseDepth and BaseSize are forwarded to the CA-CQR2 cost
 	// recurrences (the paper's legend knobs).
 	InverseDepth, BaseSize int
-	// IncludeBaselines adds non-executable PGEQRF reference rows to the
-	// ranking so CLI tables can show the baseline the paper beats.
+	// IncludeBaselines adds the PGEQRF reference row to the ranking so
+	// CLI tables can show the baseline the paper beats. The row is
+	// executable via FactorizePlan, but Best never selects it.
 	IncludeBaselines bool
 	// MaxPlans caps the ranked list (0 = no cap). Best ignores it.
 	MaxPlans int
+	// CondEst is the caller's 2-norm condition-number estimate for the
+	// matrix (κ₂(A)). When > 1, variants whose predicted orthogonality
+	// loss ‖QᵀQ−I‖ at that κ exceeds OrthTol are rejected — this is the
+	// paper-§VII routing: κ ≳ 10⁷ inputs leave the plain CholeskyQR2
+	// family for ShiftedCQR3 or TSQR. 0 (or 1) means "no information":
+	// every numerically plausible variant competes on predicted time
+	// alone. Negative or NaN values are rejected as errors.
+	CondEst float64
+	// OrthTol is the acceptable predicted ‖QᵀQ−I‖ under CondEst
+	// (0 = the default 1e-8). Only consulted when CondEst > 1.
+	OrthTol float64
+}
+
+// DefaultOrthTol is the predicted-orthogonality acceptance threshold
+// used when Request.OrthTol is unset.
+const DefaultOrthTol = 1e-8
+
+// machine epsilon for float64, the ε of the stability bounds.
+const eps = lin.Eps
+
+// PredictOrthogonality returns the modeled orthogonality loss ‖QᵀQ−I‖
+// of a variant for an m×n matrix at condition number cond, per the
+// CholeskyQR literature's bounds (panelWidth is the plan row's
+// PanelWidth — it distinguishes the blocked TSQR from the plain tree):
+//
+//   - CholeskyQR2 family: O(ε) while κ²·ε ≲ 1/64 (κ ≲ 8.4e6, the §I
+//     criterion); beyond that the Gram matrix loses numerical
+//     definiteness and the factorization breaks down entirely (returned
+//     as 1 — no useful orthogonality).
+//   - ShiftedCQR3 (Fukaya et al.): the shifted first pass maps κ(A) to
+//     κ(Q₁) ≈ √(11(mn+n(n+1))ε)·κ(A), which must itself land inside
+//     CholeskyQR2's regime — O(ε) while that holds (κ ≲ 1e12 at test
+//     shapes, shrinking slowly with mn), 1 beyond.
+//   - Plain TSQR and PGEQRF (Householder): unconditionally O(ε).
+//   - Blocked TSQR (panelWidth > 0): each panel's tree QR is stable,
+//     but the cross-panel BGS2 updates lose orthogonality with the
+//     conditioning — O(ε·κ), the classical reorthogonalized
+//     block-Gram-Schmidt bound (the κ-sweep e2e tests measure well
+//     under it, e.g. ~5e-11 at κ=1e12).
+//
+// cond ≤ 1 (including the "unknown" zero value) is treated as a
+// perfectly conditioned matrix.
+func PredictOrthogonality(v Variant, m, n, panelWidth int, cond float64) float64 {
+	if cond <= 1 {
+		cond = 1
+	}
+	// Stable-regime floor: an n×n near-identity Gram matrix with
+	// O(ε)-sized entries has Frobenius norm Θ(√n·ε) or more, so a bare
+	// 8ε would understate what healthy runs actually measure.
+	floor := 8 * math.Sqrt(float64(n)) * eps
+	cqr2Loss := func(kappa float64) float64 {
+		d := kappa * kappa * eps // one-pass loss κ²ε
+		if d >= 1.0/64 {
+			return 1
+		}
+		return floor * (1 + d) * (1 + d)
+	}
+	switch v {
+	case TSQR:
+		if panelWidth > 0 {
+			return math.Max(floor, cond*eps) // BGS2 cross-panel loss
+		}
+		return floor
+	case PGEQRF:
+		return floor
+	case ShiftedCQR3:
+		shrink := math.Sqrt(11 * float64(m*n+n*(n+1)) * eps)
+		return cqr2Loss(shrink * cond)
+	default: // the plain CholeskyQR2 family
+		return cqr2Loss(cond)
+	}
 }
 
 // Plan is one priced candidate.
@@ -75,7 +158,9 @@ type Plan struct {
 	// C, D are the grid parameters for the CA-CQR2 family (C = 1 for
 	// OneD and Sequential; unused for TSQR).
 	C, D int
-	// PanelWidth is the §V panel width b (PanelCACQR2 only).
+	// PanelWidth is the panel width b: the §V subpanel width for
+	// PanelCACQR2, the BGS2 panel width for blocked TSQR rows, and the
+	// ScaLAPACK nb for PGEQRF rows (0 = unblocked).
 	PanelWidth int
 	// Procs is the number of ranks the plan actually uses: c·d·c for
 	// the grid family, the 1D rank count otherwise.
@@ -89,8 +174,14 @@ type Plan struct {
 	MemWords int64
 	// Rationale is a one-line human-readable justification.
 	Rationale string
-	// Executable reports whether AutoFactorize can dispatch this plan
-	// (false only for PGEQRF reference rows).
+	// PredOrth is the modeled orthogonality loss ‖QᵀQ−I‖ of this
+	// variant at the request's CondEst (the ~8√n·ε stable-regime floor
+	// when no hint was given).
+	PredOrth float64
+	// Executable reports whether FactorizePlan can dispatch this plan.
+	// Every row the planner currently produces is executable — PGEQRF
+	// and the blocked-TSQR rows included; the field is retained so
+	// callers can keep gating on it.
 	Executable bool
 }
 

@@ -77,6 +77,18 @@ func bruteForce(t *testing.T, req Request) (Plan, bool) {
 			}
 		}
 	}
+	// ShiftedCQR3.
+	for p := 1; p <= req.Procs; p++ {
+		if req.M%p != 0 {
+			continue
+		}
+		c, err := costmodel.OneDShiftedCQR3(req.M, req.N, p)
+		if err != nil {
+			continue
+		}
+		mem, merr := costmodel.OneDShiftedCQR3Memory(req.M, req.N, p)
+		consider(Plan{Variant: ShiftedCQR3, C: 1, D: p, Procs: p, Cost: c}, mem, merr)
+	}
 	// TSQR.
 	for p := 2; p <= req.Procs; p *= 2 {
 		if req.M%p != 0 || req.M/p < req.N {
@@ -88,6 +100,23 @@ func bruteForce(t *testing.T, req Request) (Plan, bool) {
 		}
 		mem, merr := costmodel.TSQRMemory(req.M, req.N, p)
 		consider(Plan{Variant: TSQR, C: 1, D: p, Procs: p, Cost: c}, mem, merr)
+	}
+	// Blocked TSQR, exactly where the plain tree is infeasible.
+	for p := 2; p <= req.Procs; p *= 2 {
+		if req.M%p != 0 || req.M/p >= req.N {
+			continue
+		}
+		for b := 1; b < req.N && b <= req.M/p; b++ {
+			if req.N%b != 0 {
+				continue
+			}
+			c, err := costmodel.BlockedTSQR(req.M, req.N, b, p)
+			if err != nil {
+				continue
+			}
+			mem, merr := costmodel.BlockedTSQRMemory(req.M, req.N, b, p)
+			consider(Plan{Variant: TSQR, C: 1, D: p, PanelWidth: b, Procs: p, Cost: c}, mem, merr)
+		}
 	}
 	return best, found
 }
@@ -254,8 +283,8 @@ func TestPGEQRFReferenceRow(t *testing.T) {
 	if ref == nil {
 		t.Fatal("no PGEQRF reference row with IncludeBaselines")
 	}
-	if ref.Executable {
-		t.Fatal("PGEQRF row marked executable")
+	if !ref.Executable {
+		t.Fatal("PGEQRF row no longer executable (every priced row must dispatch)")
 	}
 	best, err := Best(req)
 	if err != nil {

@@ -1,0 +1,88 @@
+// Package testmat generates dense test matrices with exactly prescribed
+// spectra for the numerical-robustness test suites: the κ-sweep property
+// tests in internal/core, the condition-aware routing tests in
+// internal/plan, and the public e2e dispatch tests all draw from here,
+// so every layer measures orthogonality loss against the same inputs.
+//
+// Matrices are built by scaled SVD composition: A = U·diag(σ)·Vᵀ with
+// Householder-random orthonormal U (m×n) and V (n×n), so the singular
+// values — and therefore κ₂(A) = σ_max/σ_min — are exact by
+// construction up to roundoff. This is the standard construction the
+// CholeskyQR2 literature uses for its κ-vs-orthogonality figures
+// (Fukaya et al., the paper's reference [3]).
+package testmat
+
+import (
+	"math"
+
+	"cacqr/internal/lin"
+)
+
+// Kappas is the standard condition-number sweep the robustness suites
+// cover: from comfortably inside CholeskyQR2's κ ≲ ε^{-1/2} regime
+// (1e2, 1e5), through its breakdown (1e8), into territory only
+// ShiftedCQR3 (1e12) and the Householder-based algorithms (1e15) can
+// handle.
+var Kappas = []float64{1e2, 1e5, 1e8, 1e12, 1e15}
+
+// GeometricSpectrum returns n singular values geometrically spaced from
+// 1 down to 1/cond, the decay profile whose condition number is exactly
+// cond.
+func GeometricSpectrum(n int, cond float64) []float64 {
+	if cond < 1 {
+		panic("testmat: condition number must be >= 1")
+	}
+	sigma := make([]float64, n)
+	for j := range sigma {
+		if n == 1 {
+			sigma[j] = 1
+			continue
+		}
+		t := float64(j) / float64(n-1)
+		sigma[j] = math.Pow(cond, -t)
+	}
+	return sigma
+}
+
+// WithSpectrum returns an m×n matrix (m ≥ n) with exactly the given
+// singular values, as U·diag(sigma)·Vᵀ from seeded random orthonormal
+// factors. len(sigma) must be n.
+func WithSpectrum(m, n int, sigma []float64, seed int64) *lin.Matrix {
+	if len(sigma) != n {
+		panic("testmat: need one singular value per column")
+	}
+	u := lin.RandomOrthonormal(m, n, seed)
+	v := lin.RandomOrthonormal(n, n, seed+1)
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			u.Data[i*u.Stride+j] *= sigma[j]
+		}
+	}
+	out := lin.NewMatrix(m, n)
+	lin.Gemm(false, true, 1, u, v, 0, out)
+	return out
+}
+
+// WithCond returns an m×n matrix whose 2-norm condition number is cond,
+// with geometrically decaying singular values in [1/cond, 1].
+func WithCond(m, n int, cond float64, seed int64) *lin.Matrix {
+	return WithSpectrum(m, n, GeometricSpectrum(n, cond), seed)
+}
+
+// Flatten returns the matrix's row-major data as a fresh slice — the
+// bridge to the public cacqr.FromData constructor for e2e tests (which
+// cannot import the root package's internals without a cycle).
+func Flatten(m *lin.Matrix) []float64 {
+	out := make([]float64, m.Rows*m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		copy(out[i*m.Cols:(i+1)*m.Cols], m.Data[i*m.Stride:i*m.Stride+m.Cols])
+	}
+	return out
+}
+
+// Measure reports the two robustness metrics for a computed
+// factorization of a: the orthogonality loss ‖QᵀQ−I‖_F and the relative
+// residual ‖A−QR‖_F/‖A‖_F.
+func Measure(a, q, r *lin.Matrix) (orth, resid float64) {
+	return lin.OrthogonalityError(q), lin.ResidualNorm(a, q, r)
+}

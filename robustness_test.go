@@ -1,0 +1,351 @@
+package cacqr
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"cacqr/internal/costmodel"
+	"cacqr/internal/lin"
+	"cacqr/internal/testmat"
+)
+
+// E2e dispatch tests for the condition-aware planner and the newly
+// executable plan rows: PGEQRF and blocked TSQR. Together with the
+// κ-sweep property tests in internal/core and the routing tests in
+// internal/plan, these are the acceptance scenario of the robustness
+// milestone: every plan row PlanGrid returns executes, and κ ≳ 10⁷
+// inputs reach O(ε) orthogonality through AutoFactorize while plain
+// CQR2 measurably cannot.
+
+func condMatrix(t *testing.T, m, n int, kappa float64, seed int64) *Dense {
+	t.Helper()
+	a, err := FromData(m, n, testmat.Flatten(testmat.WithCond(m, n, kappa, seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestAutoFactorizeRoutesOnCondEst(t *testing.T) {
+	const m, n, procs = 1024, 64, 16
+	// Below the threshold: the hint is benign and the tall shape stays
+	// in the 1D CholeskyQR2 regime.
+	low := condMatrix(t, m, n, 1e3, 4)
+	res, err := AutoFactorize(low, procs, Options{CondEst: 1e3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan.Variant != Variant1DCQR2 {
+		t.Fatalf("κ=1e3 routed to %v, want 1d-cqr2", res.Plan)
+	}
+	if res.CondEst != 1e3 {
+		t.Fatalf("recorded CondEst %g, want the caller's hint", res.CondEst)
+	}
+	// Above it: the same shape must leave the CQR2 family for the
+	// shifted variant and still deliver machine-precision factors.
+	high := condMatrix(t, m, n, 1e10, 4)
+	res, err = AutoFactorize(high, procs, Options{CondEst: 1e10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan.Variant != VariantShiftedCQR3 {
+		t.Fatalf("κ=1e10 routed to %v, want shifted-cqr3", res.Plan)
+	}
+	if e := OrthogonalityError(res.Q); e > 1e-8 {
+		t.Fatalf("κ=1e10 shifted run: orthogonality %g", e)
+	}
+	if e := ResidualNorm(high, res.Q, res.R); e > 1e-10 {
+		t.Fatalf("κ=1e10 shifted run: residual %g", e)
+	}
+	// The shifted dispatch obeys the same validation contract as every
+	// other variant: measured cost = predicted cost + the final gather.
+	if res.Stats.Flops != res.Plan.Cost.TotalFlops() {
+		t.Fatalf("measured flops %d != predicted %d", res.Stats.Flops, res.Plan.Cost.TotalFlops())
+	}
+	gather := costmodel.Allgather(int64(m*n), res.Plan.Procs)
+	if res.Stats.Msgs != res.Plan.Cost.Msgs+gather.Msgs || res.Stats.Words != res.Plan.Cost.Words+gather.Words {
+		t.Fatalf("measured comm (%d, %d) != predicted (%d, %d) + gather (%d, %d)",
+			res.Stats.Msgs, res.Stats.Words, res.Plan.Cost.Msgs, res.Plan.Cost.Words, gather.Msgs, gather.Words)
+	}
+}
+
+func TestAutoFactorizeEstimatesCondWhenUnset(t *testing.T) {
+	// The acceptance scenario with no hint at all: κ=1e10 at 1024×64.
+	// AutoFactorize must measure the conditioning itself, route off the
+	// CQR2 family, and return Q with ‖QᵀQ−I‖ ≤ 1e-8 — while plain CQR2
+	// on the same matrix measurably does not deliver that.
+	const m, n, procs = 1024, 64, 16
+	a := condMatrix(t, m, n, 1e10, 4)
+	res, err := AutoFactorize(a, procs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CondEst <= 1e7 {
+		t.Fatalf("estimator recorded κ=%g, want ≫ 1e7", res.CondEst)
+	}
+	if res.Plan.Variant != VariantShiftedCQR3 && res.Plan.Variant != VariantTSQR {
+		t.Fatalf("estimated routing chose %v", res.Plan)
+	}
+	if e := OrthogonalityError(res.Q); e > 1e-8 {
+		t.Fatalf("auto-routed orthogonality %g", e)
+	}
+	if q, _, err := CholeskyQR2(a); err == nil {
+		if e := OrthogonalityError(q); e <= 1e-8 {
+			t.Fatalf("plain CQR2 unexpectedly also delivered %g", e)
+		}
+	}
+	// Well-conditioned input, no hint: the estimator must not scare the
+	// planner away from the cheap family.
+	b := RandomMatrix(1024, 64, 42)
+	res, err = AutoFactorize(b, procs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan.Variant != Variant1DCQR2 {
+		t.Fatalf("benign matrix routed to %v", res.Plan)
+	}
+	if res.CondEst <= 0 || math.IsInf(res.CondEst, 1) {
+		t.Fatalf("benign matrix estimated κ=%g", res.CondEst)
+	}
+}
+
+func TestFactorizePlanExecutesPGEQRFRow(t *testing.T) {
+	// Wire-up acceptance: a PGEQRF row from the planner executes and
+	// matches the Householder reference factorization to 1e-12. No
+	// measured-vs-predicted cost assertion here by design: the PGEQRF
+	// row's Cost prices the factorization only, while execution also
+	// pays the unmodeled explicit-Q output path (see the FactorizePGEQRF
+	// and PlanGrid docs) — the exact contract is asserted for the
+	// CQR-family and TSQR rows instead.
+	const m, n = 256, 64
+	a := RandomMatrix(m, n, 9)
+	plans, err := PlanGrid(m, n, 8, Options{IncludeBaselines: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var row *Plan
+	for i := range plans {
+		if plans[i].Variant == VariantPGEQRF {
+			row = &plans[i]
+			break
+		}
+	}
+	if row == nil {
+		t.Fatal("no PGEQRF row surfaced")
+	}
+	if !row.Executable {
+		t.Fatalf("PGEQRF row not executable: %v", row)
+	}
+	res, err := FactorizePlan(a, *row, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertMatchesHouseholder(t, a, res, 1e-12)
+
+	// And a genuinely 2D grid through the direct entry point, same
+	// contract.
+	res, err = FactorizePGEQRF(a, 4, 2, 8, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Msgs == 0 || res.Stats.Words == 0 {
+		t.Fatalf("4x2 grid did not communicate: %+v", res.Stats)
+	}
+	assertMatchesHouseholder(t, a, res, 1e-12)
+}
+
+func TestFactorizePlanExecutesBlockedTSQRRow(t *testing.T) {
+	// 256×64 on 8 ranks: m/p = 32 < n, so the plan list contains
+	// blocked TSQR rows (panelWidth > 0). Each must execute, match the
+	// reference factorization to 1e-12, and charge exactly its modeled
+	// cost plus the final Q gather.
+	const m, n, procs = 256, 64, 8
+	a := RandomMatrix(m, n, 10)
+	plans, err := PlanGrid(m, n, procs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := 0
+	for _, p := range plans {
+		if p.Variant != VariantTSQR || p.PanelWidth == 0 || p.PanelWidth == n {
+			continue
+		}
+		res, err := FactorizePlan(a, p, Options{})
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		assertMatchesHouseholder(t, a, res, 1e-12)
+		if res.Stats.Flops != p.Cost.TotalFlops() {
+			t.Fatalf("%v: measured flops %d != predicted %d", p, res.Stats.Flops, p.Cost.TotalFlops())
+		}
+		gather := costmodel.Allgather(int64(m*n), p.Procs)
+		if res.Stats.Msgs != p.Cost.Msgs+gather.Msgs || res.Stats.Words != p.Cost.Words+gather.Words {
+			t.Fatalf("%v: measured comm (%d, %d) != predicted + gather (%d, %d)",
+				p, res.Stats.Msgs, res.Stats.Words, p.Cost.Msgs+gather.Msgs, p.Cost.Words+gather.Words)
+		}
+		ran++
+	}
+	if ran == 0 {
+		t.Fatal("no blocked TSQR rows to execute")
+	}
+}
+
+func TestEveryPlanRowIsExecutable(t *testing.T) {
+	// The milestone's headline: every row PlanGrid returns — baselines
+	// included — executes through FactorizePlan and reproduces A.
+	const m, n, procs = 128, 16, 8
+	a := RandomMatrix(m, n, 3)
+	plans, err := PlanGrid(m, n, procs, Options{IncludeBaselines: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[Variant]bool{}
+	for _, p := range plans {
+		if !p.Executable {
+			t.Fatalf("non-executable row: %v", p)
+		}
+		if seen[p.Variant] {
+			continue // one execution per variant keeps the test fast
+		}
+		seen[p.Variant] = true
+		res, err := FactorizePlan(a, p, Options{})
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if e := ResidualNorm(a, res.Q, res.R); e > 1e-11 {
+			t.Fatalf("%v: residual %g", p, e)
+		}
+		if e := OrthogonalityError(res.Q); e > 1e-11 {
+			t.Fatalf("%v: orthogonality %g", p, e)
+		}
+	}
+	if len(seen) < 3 {
+		t.Fatalf("only variants %v exercised", seen)
+	}
+}
+
+func TestKappaSweepTSQRUnconditionallyStable(t *testing.T) {
+	// The plain Householder tree must hold O(ε) orthogonality and
+	// residual at every κ of the sweep — including where both
+	// CholeskyQR2 and the one-shift CQR3 break down. This is what makes
+	// it a safe routing target for the planner's worst case. The
+	// blocked variant's cross-panel BGS2 updates lose orthogonality as
+	// O(ε·κ) — the planner gates it by exactly that bound
+	// (plan.PredictOrthogonality), asserted here against measurements.
+	const m, n, procs = 256, 32, 4
+	for _, kappa := range testmat.Kappas {
+		a := condMatrix(t, m, n, kappa, 17)
+		res, err := FactorizeTSQR(a, procs, 0, Options{})
+		if err != nil {
+			t.Fatalf("κ=%g: %v", kappa, err)
+		}
+		if e := OrthogonalityError(res.Q); e > 1e-12 {
+			t.Fatalf("κ=%g: TSQR orthogonality %g", kappa, e)
+		}
+		if e := ResidualNorm(a, res.Q, res.R); e > 1e-12 {
+			t.Fatalf("κ=%g: TSQR residual %g", kappa, e)
+		}
+		res, err = FactorizeTSQR(a, procs, 8, Options{})
+		if err != nil {
+			t.Fatalf("κ=%g blocked: %v", kappa, err)
+		}
+		orth := OrthogonalityError(res.Q)
+		if bound := math.Max(8*lin.Eps, kappa*lin.Eps); orth > bound {
+			t.Fatalf("κ=%g: blocked TSQR orthogonality %g over the modeled ε·κ bound %g", kappa, orth, bound)
+		}
+		if kappa <= 1e5 && orth > 1e-12 {
+			t.Fatalf("κ=%g: blocked TSQR orthogonality %g inside its O(ε) regime", kappa, orth)
+		}
+		if e := ResidualNorm(a, res.Q, res.R); e > 1e-12 {
+			t.Fatalf("κ=%g: blocked TSQR residual %g", kappa, e)
+		}
+	}
+}
+
+func TestFactorizeShifted1DErrorPaths(t *testing.T) {
+	a := RandomMatrix(96, 8, 1)
+	if _, err := FactorizeShifted1D(a, 7, Options{}); err == nil {
+		t.Fatal("indivisible m accepted")
+	}
+	if _, err := FactorizeShifted1D(a, 0, Options{}); err == nil {
+		t.Fatal("zero procs accepted")
+	}
+	if _, err := FactorizeShifted1D(a, 4, Options{Workers: -1}); err == nil {
+		t.Fatal("negative Workers accepted")
+	}
+}
+
+func TestFactorizePGEQRFErrorPaths(t *testing.T) {
+	a := RandomMatrix(64, 16, 1)
+	if _, err := FactorizePGEQRF(a, 0, 2, 4, Options{}); err == nil {
+		t.Fatal("zero pr accepted")
+	}
+	if _, err := FactorizePGEQRF(a, 3, 1, 4, Options{}); err == nil {
+		t.Fatal("pr ∤ m accepted")
+	}
+	if _, err := FactorizePGEQRF(a, 4, 1, 5, Options{}); err == nil {
+		t.Fatal("nb ∤ n accepted")
+	}
+	wide := RandomMatrix(16, 64, 1)
+	if _, err := FactorizePGEQRF(wide, 4, 1, 4, Options{}); err == nil {
+		t.Fatal("m < n accepted")
+	}
+}
+
+func TestCondEstValidationEverywhere(t *testing.T) {
+	// Options validation: a negative or NaN CondEst is an error at
+	// every planner-facing entry point, with a message that names the
+	// knob; unset (0) remains valid and triggers the estimator.
+	a := RandomMatrix(64, 8, 1)
+	for name, bad := range map[string]float64{"negative": -2, "NaN": math.NaN()} {
+		opts := Options{CondEst: bad}
+		if _, err := PlanGrid(64, 8, 4, opts); err == nil || !strings.Contains(err.Error(), "CondEst") {
+			t.Fatalf("%s CondEst: PlanGrid err = %v", name, err)
+		}
+		if _, err := AutoFactorize(a, 4, opts); err == nil {
+			t.Fatalf("%s CondEst accepted by AutoFactorize", name)
+		}
+		if _, err := FactorizePlan(a, Plan{Variant: VariantSequential, Procs: 1}, opts); err == nil {
+			t.Fatalf("%s CondEst accepted by FactorizePlan", name)
+		}
+		if _, err := FactorizeShifted1D(a, 4, opts); err == nil {
+			t.Fatalf("%s CondEst accepted by FactorizeShifted1D", name)
+		}
+	}
+	// +Inf (the estimator's own "numerically singular" verdict) is a
+	// legal hint: it routes to the unconditionally stable variants.
+	res, err := AutoFactorize(RandomMatrix(1024, 64, 2), 16, Options{CondEst: math.Inf(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan.Variant != VariantTSQR {
+		t.Fatalf("κ=+Inf routed to %v", res.Plan)
+	}
+}
+
+// assertMatchesHouseholder checks a result against the sign-normalized
+// Householder reference factorization element-wise.
+func assertMatchesHouseholder(t *testing.T, a *Dense, res *Result, tol float64) {
+	t.Helper()
+	qr, rr, err := HouseholderQR(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Q.Data {
+		if d := math.Abs(res.Q.Data[i] - qr.Data[i]); d > tol {
+			t.Fatalf("Q differs from reference by %g at %d", d, i)
+		}
+	}
+	for i := range res.R.Data {
+		if d := math.Abs(res.R.Data[i] - rr.Data[i]); d > tol {
+			t.Fatalf("R differs from reference by %g at %d", d, i)
+		}
+	}
+	if e := ResidualNorm(a, res.Q, res.R); e > tol {
+		t.Fatalf("residual %g", e)
+	}
+	if e := OrthogonalityError(res.Q); e > tol {
+		t.Fatalf("orthogonality %g", e)
+	}
+}
