@@ -164,15 +164,6 @@ func Factor(comm *simmpi.Comm, aLocal *lin.Matrix, m, n, workers int) (qLocal, r
 
 	// Normalize signs so R has a non-negative diagonal, making the
 	// result directly comparable with the CholeskyQR family.
-	for i := 0; i < n; i++ {
-		if rOut.At(i, i) < 0 {
-			for j := i; j < n; j++ {
-				rOut.Set(i, j, -rOut.At(i, j))
-			}
-			for k := 0; k < q.Rows; k++ {
-				q.Set(k, i, -q.At(k, i))
-			}
-		}
-	}
+	lin.NormalizeSigns(q, rOut)
 	return q, rOut, nil
 }
