@@ -137,6 +137,15 @@ type GridSpec struct {
 // Procs returns the rank count of the grid.
 func (g GridSpec) Procs() int { return g.C * g.D * g.C }
 
+// validate rejects infeasible grids — the shared check behind every
+// entry point that takes an explicit spec.
+func (g GridSpec) validate() error {
+	if g.C < 1 || g.D < g.C || g.D%g.C != 0 {
+		return fmt.Errorf("cacqr: invalid grid %dx%dx%d (need 1 ≤ c ≤ d, c | d)", g.C, g.D, g.C)
+	}
+	return nil
+}
+
 // Options tune the factorization like the paper's experiment legends.
 type Options struct {
 	// InverseDepth is the number of top CFR3D recursion levels that skip
@@ -177,14 +186,18 @@ type Options struct {
 	// against). AutoFactorize never selects it, but FactorizePlan can
 	// execute it like any other row.
 	IncludeBaselines bool
-	// CondEst is a 2-norm condition-number hint κ₂(A) for the planner's
+	// CondEst is a 2-norm condition-number hint κ₂(A) for the
 	// condition-aware routing: variants whose predicted ‖QᵀQ−I‖ at that
 	// κ exceeds 1e-8 are rejected, which moves κ ≳ 10⁷ inputs off the
 	// plain CholeskyQR2 family and onto ShiftedCQR3 or TSQR. Leave it
 	// unset (0) and AutoFactorize runs a cheap power-iteration estimator
 	// on the matrix itself (PlanGrid, which never sees the matrix,
 	// treats 0 as "assume well-conditioned"). Negative or NaN values are
-	// rejected with an error. Planner-only, like MemBudget.
+	// rejected with an error. Consulted by the planner entry points and
+	// by SolveLeastSquares — which estimates like AutoFactorize even on
+	// a fixed grid, and reroutes ill-conditioned inputs off the spec —
+	// but not by the raw Factorize* entry points, which run exactly what
+	// they were asked to.
 	CondEst float64
 }
 
@@ -222,8 +235,8 @@ func FactorizeOnGrid(a *Dense, spec GridSpec, opts Options) (*Result, error) {
 	if err := checkOptions(opts); err != nil {
 		return nil, err
 	}
-	if spec.C < 1 || spec.D < spec.C || spec.D%spec.C != 0 {
-		return nil, fmt.Errorf("cacqr: invalid grid %dx%dx%d (need 1 ≤ c ≤ d, c | d)", spec.C, spec.D, spec.C)
+	if err := spec.validate(); err != nil {
+		return nil, err
 	}
 	global := a.toLin()
 	var q, r *lin.Matrix
@@ -400,12 +413,15 @@ func FactorizeTSQR(a *Dense, procs, panelWidth int, opts Options) (*Result, erro
 	if procs < 1 {
 		return nil, fmt.Errorf("cacqr: invalid processor count %d", procs)
 	}
+	// Checked here, before the simulated grid spins up, like every
+	// sibling entry point: an invalid shape must fail fast, not after
+	// launching all P rank goroutines.
+	if m%procs != 0 {
+		return nil, fmt.Errorf("cacqr: m=%d not divisible by P=%d", m, procs)
+	}
 	global := a.toLin()
 	var q, r *lin.Matrix
 	st, err := simmpi.RunWithOptions(procs, simmpi.Options{Timeout: simTimeout(opts)}, func(p *simmpi.Proc) error {
-		if m%procs != 0 {
-			return fmt.Errorf("cacqr: m=%d not divisible by P=%d", m, procs)
-		}
 		local := global.View(p.Rank()*(m/procs), 0, m/procs, n).Clone()
 		var qL, rL *lin.Matrix
 		var err error

@@ -1,0 +1,247 @@
+// Command cacqrd is the factorization daemon: cacqr.Server behind
+// JSON-over-HTTP. It accepts factorization and least-squares requests of
+// arbitrary shapes, plans each with the condition-aware planner, caches
+// plans per (shape, procs, machine, memory budget, κ-bucket), batches
+// same-key bursts through one plan lookup, and executes under a global
+// simulated-rank budget.
+//
+//	cacqrd [-addr :8377] [-procs 16] [-cache 128] [-rank-budget 256]
+//	       [-window 2ms] [-mem 0] [-machine stampede2] [-workers 0]
+//
+// Endpoints:
+//
+//	POST /v1/factorize  {"m","n","data"|"gen","procs","condest","want_factors"}
+//	POST /v1/solve      same, plus "b" (length m)
+//	GET  /healthz       liveness probe
+//	GET  /stats         plan-cache and execution-gate counters
+//
+// A request supplies the matrix either inline ("data": row-major values,
+// length m·n) or as a deterministic generator ("gen": {"seed","cond"}),
+// which keeps load-test payloads O(1). Responses carry the executed
+// plan, whether it was served from the plan cache, the condition
+// estimate the routing used, measured α-β-γ costs, and — for solves —
+// the solution x. examples/serving is a ready-made traffic driver.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	cacqr "cacqr"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8377", "listen address")
+		procs      = flag.Int("procs", 16, "default per-request planning budget (simulated ranks)")
+		cache      = flag.Int("cache", 0, "plan-cache entries (0 = default 128)")
+		rankBudget = flag.Int("rank-budget", 0, "global simulated-rank execution budget (0 = default 256)")
+		window     = flag.Duration("window", 0, "same-key batch window (0 = default 2ms)")
+		mem        = flag.Int64("mem", 0, "per-rank memory budget in bytes (0 = unlimited)")
+		maxElems   = flag.Int64("max-elems", 1<<24, "largest accepted m·n per request (0 = unlimited; guards the daemon against OOM)")
+		machine    = flag.String("machine", "stampede2", `planning machine ("stampede2" or "bluewaters")`)
+		workers    = flag.Int("workers", 0, "per-rank kernel goroutines (0 = serial)")
+	)
+	flag.Parse()
+
+	opts := cacqr.Options{MemBudget: *mem, Workers: *workers}
+	switch *machine {
+	case "stampede2":
+		opts.PlanMachine = &cacqr.Stampede2
+	case "bluewaters":
+		opts.PlanMachine = &cacqr.BlueWaters
+	default:
+		log.Fatalf("unknown -machine %q", *machine)
+	}
+	srv, err := cacqr.NewServer(cacqr.ServerOptions{
+		Procs:        *procs,
+		CacheEntries: *cache,
+		RankBudget:   *rankBudget,
+		BatchWindow:  *window,
+		Options:      opts,
+	})
+	if err != nil {
+		log.Fatalf("cacqrd: %v", err)
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, statsJSON(srv.Stats()))
+	})
+	mux.HandleFunc("/v1/factorize", handle(srv, false, *maxElems))
+	mux.HandleFunc("/v1/solve", handle(srv, true, *maxElems))
+
+	httpSrv := &http.Server{Addr: *addr, Handler: mux}
+	done := make(chan struct{})
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Printf("cacqrd: shutting down")
+		// Drain in-flight HTTP responses before retiring the server —
+		// a request whose factorization completes should get its reply,
+		// not a connection reset.
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		httpSrv.Shutdown(ctx) //nolint:errcheck
+		srv.Close()
+		close(done)
+	}()
+	log.Printf("cacqrd: serving on %s (procs=%d machine=%s)", *addr, *procs, *machine)
+	if err := httpSrv.ListenAndServe(); err != http.ErrServerClosed {
+		log.Fatalf("cacqrd: %v", err)
+	}
+	<-done
+}
+
+// request is the wire form of one factorize/solve call.
+type request struct {
+	M    int       `json:"m"`
+	N    int       `json:"n"`
+	Data []float64 `json:"data,omitempty"` // row-major, length m·n
+	Gen  *struct {
+		Seed int64   `json:"seed"`
+		Cond float64 `json:"cond,omitempty"` // >1: prescribed κ₂
+	} `json:"gen,omitempty"`
+	B           []float64 `json:"b,omitempty"` // solve only
+	Procs       int       `json:"procs,omitempty"`
+	CondEst     float64   `json:"condest,omitempty"`
+	WantFactors bool      `json:"want_factors,omitempty"`
+}
+
+// response is the wire form of the outcome.
+type response struct {
+	Variant      string    `json:"variant"`
+	Grid         string    `json:"grid"`
+	Procs        int       `json:"procs"`
+	PlanCacheHit bool      `json:"plan_cache_hit"`
+	CondEst      float64   `json:"cond_est"`
+	Msgs         int64     `json:"msgs_per_proc"`
+	Words        int64     `json:"words_per_proc"`
+	Flops        int64     `json:"flops_per_proc"`
+	SimSeconds   float64   `json:"sim_seconds"`
+	WallSeconds  float64   `json:"wall_seconds"`
+	X            []float64 `json:"x,omitempty"`
+	Q            []float64 `json:"q,omitempty"`
+	R            []float64 `json:"r,omitempty"`
+}
+
+func handle(srv *cacqr.Server, solve bool, maxElems int64) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
+			return
+		}
+		if maxElems > 0 {
+			// Bound the body before decoding: the inline-"data" path is
+			// ~25 bytes per JSON float, so 32·maxElems (+ slack for b
+			// and the envelope) caps what one request can make the
+			// decoder allocate.
+			r.Body = http.MaxBytesReader(w, r.Body, 32*maxElems+1<<20)
+		}
+		var req request
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			return
+		}
+		a, err := buildMatrix(req, maxElems)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		sub := cacqr.SubmitRequest{A: a, Procs: req.Procs, CondEst: req.CondEst}
+		if solve {
+			if req.B == nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("solve needs \"b\" (length m)"))
+				return
+			}
+			sub.B = req.B
+		}
+		start := time.Now()
+		res, err := srv.Submit(sub)
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		out := response{
+			Variant:      string(res.Plan.Variant),
+			Grid:         res.Plan.GridString(),
+			Procs:        res.Plan.Procs,
+			PlanCacheHit: res.PlanCacheHit,
+			CondEst:      res.CondEst,
+			Msgs:         res.Stats.Msgs,
+			Words:        res.Stats.Words,
+			Flops:        res.Stats.Flops,
+			SimSeconds:   res.Stats.Time,
+			WallSeconds:  time.Since(start).Seconds(),
+			X:            res.X,
+		}
+		if req.WantFactors {
+			out.Q, out.R = res.Q.Data, res.R.Data
+		}
+		writeJSON(w, http.StatusOK, out)
+	}
+}
+
+// buildMatrix materializes the request's matrix from inline data or the
+// deterministic generator, refusing shapes beyond the -max-elems bound
+// before anything is allocated — one oversized "gen" request must not
+// OOM the daemon out from under every other client.
+func buildMatrix(req request, maxElems int64) (*cacqr.Dense, error) {
+	if req.M < 1 || req.N < 1 {
+		return nil, fmt.Errorf("invalid shape %dx%d", req.M, req.N)
+	}
+	if maxElems > 0 && int64(req.M) > maxElems/int64(req.N) {
+		return nil, fmt.Errorf("shape %dx%d exceeds the daemon's -max-elems bound of %d", req.M, req.N, maxElems)
+	}
+	switch {
+	case req.Data != nil && req.Gen != nil:
+		return nil, fmt.Errorf(`give "data" or "gen", not both`)
+	case req.Data != nil:
+		return cacqr.FromData(req.M, req.N, req.Data)
+	case req.Gen != nil:
+		if req.Gen.Cond > 1 {
+			return cacqr.RandomWithCond(req.M, req.N, req.Gen.Cond, req.Gen.Seed), nil
+		}
+		return cacqr.RandomMatrix(req.M, req.N, req.Gen.Seed), nil
+	default:
+		return nil, fmt.Errorf(`matrix missing: give "data" (row-major, length m·n) or "gen" {"seed","cond"}`)
+	}
+}
+
+// statsJSON flattens ServerStats for the wire, adding the derived rate.
+func statsJSON(st cacqr.ServerStats) map[string]any {
+	return map[string]any{
+		"requests":        st.Requests,
+		"hits":            st.Hits,
+		"misses":          st.Misses,
+		"evictions":       st.Evictions,
+		"entries":         st.Entries,
+		"planned":         st.Planned,
+		"batched":         st.Batched,
+		"in_flight_ranks": st.InFlightRanks,
+		"rank_budget":     st.RankBudget,
+		"hit_rate":        st.HitRate(),
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

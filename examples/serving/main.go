@@ -1,0 +1,199 @@
+// Serving: drive mixed-shape, mixed-κ traffic through the plan-caching
+// factorization service and watch the planning cost amortize.
+//
+// The ROADMAP's north star is a long-lived process serving heavy
+// factorization/least-squares traffic. The expensive per-request choice
+// — which (c, d, variant) to run — depends only on the workload's shape,
+// machine, budget, and κ-bucket, so cacqr.Server makes it once per
+// distinct key and answers the rest from an LRU. This example fires
+// three shapes × two conditioning regimes concurrently, repeats each,
+// and prints per-workload routing plus throughput and the cache-hit
+// rate.
+//
+//	go run ./examples/serving            # in-process cacqr.Server
+//	go run ./examples/serving -addr http://127.0.0.1:8377 -rounds 1
+//	                                     # same traffic over HTTP to cacqrd
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	cacqr "cacqr"
+)
+
+type workload struct {
+	name string
+	m, n int
+	cond float64 // >1: prescribed κ₂; else well-conditioned
+}
+
+var workloads = []workload{
+	{"tall-skinny", 512, 8, 0},
+	{"tall-skinny κ=1e10", 512, 8, 1e10},
+	{"rectangular", 256, 16, 0},
+	{"rectangular κ=1e10", 256, 16, 1e10},
+	{"blocky", 128, 32, 0},
+	{"blocky κ=1e10", 128, 32, 1e10},
+}
+
+func main() {
+	addr := flag.String("addr", "", "cacqrd base URL (empty = in-process cacqr.Server)")
+	rounds := flag.Int("rounds", 4, "requests per workload")
+	procs := flag.Int("procs", 8, "per-request planning budget")
+	flag.Parse()
+	if *addr != "" {
+		if err := driveHTTP(*addr, *rounds, *procs); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if err := driveInProcess(*rounds, *procs); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func driveInProcess(rounds, procs int) error {
+	srv, err := cacqr.NewServer(cacqr.ServerOptions{Procs: procs})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	fmt.Printf("firing %d workloads × %d rounds concurrently through cacqr.Server (procs ≤ %d)\n\n",
+		len(workloads), rounds, procs)
+	type line struct {
+		variant string
+		grid    string
+		hits    int
+	}
+	var mu sync.Mutex
+	routes := make(map[string]*line)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		for i, w := range workloads {
+			wg.Add(1)
+			go func(w workload, seed int64) {
+				defer wg.Done()
+				var a *cacqr.Dense
+				if w.cond > 1 {
+					a = cacqr.RandomWithCond(w.m, w.n, w.cond, seed)
+				} else {
+					a = cacqr.RandomMatrix(w.m, w.n, seed)
+				}
+				b := make([]float64, w.m)
+				for i := range b {
+					b[i] = float64(i%7) - 3
+				}
+				res, err := srv.Submit(cacqr.SubmitRequest{A: a, B: b, CondEst: w.cond})
+				if err != nil {
+					log.Fatalf("%s: %v", w.name, err)
+				}
+				mu.Lock()
+				l, ok := routes[w.name]
+				if !ok {
+					l = &line{variant: string(res.Plan.Variant), grid: res.Plan.GridString()}
+					routes[w.name] = l
+				}
+				if res.PlanCacheHit {
+					l.hits++
+				}
+				mu.Unlock()
+			}(w, int64(1000+r*len(workloads)+i))
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	names := make([]string, 0, len(routes))
+	for name := range routes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		l := routes[name]
+		fmt.Printf("  %-22s → %-13s %-8s plan cached on %d/%d requests\n",
+			name, l.variant, l.grid, l.hits, rounds)
+	}
+	st := srv.Stats()
+	total := len(workloads) * rounds
+	fmt.Printf("\n%d solves in %v — %.0f req/s\n", total, elapsed.Round(time.Millisecond),
+		float64(total)/elapsed.Seconds())
+	fmt.Printf("plan cache: %d hits, %d misses (%d planned, %d batched), %d evictions, %d entries\n",
+		st.Hits, st.Misses, st.Planned, st.Batched, st.Evictions, st.Entries)
+	fmt.Printf("cache-hit rate: %.0f%% — the planner ran once per (shape, κ-bucket), not once per request\n",
+		100*st.HitRate())
+	if st.HitRate() <= 0 {
+		return fmt.Errorf("expected repeated same-key traffic to hit the plan cache")
+	}
+	return nil
+}
+
+// driveHTTP fires one workload sweep at a running cacqrd and prints the
+// wire responses — the round-trip CI smokes.
+func driveHTTP(base string, rounds, procs int) error {
+	client := &http.Client{Timeout: 2 * time.Minute}
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		return fmt.Errorf("daemon not reachable: %w", err)
+	}
+	resp.Body.Close() //nolint:errcheck
+	for r := 0; r < rounds; r++ {
+		for i, w := range workloads {
+			b := make([]float64, w.m)
+			for i := range b {
+				b[i] = float64(i%7) - 3
+			}
+			body, err := json.Marshal(map[string]any{
+				"m": w.m, "n": w.n,
+				"gen":     map[string]any{"seed": 1000 + r*len(workloads) + i, "cond": w.cond},
+				"b":       b,
+				"procs":   procs,
+				"condest": w.cond,
+			})
+			if err != nil {
+				return err
+			}
+			resp, err := client.Post(base+"/v1/solve", "application/json", bytes.NewReader(body))
+			if err != nil {
+				return fmt.Errorf("%s: %w", w.name, err)
+			}
+			var out struct {
+				Variant      string  `json:"variant"`
+				Grid         string  `json:"grid"`
+				PlanCacheHit bool    `json:"plan_cache_hit"`
+				CondEst      float64 `json:"cond_est"`
+				Error        string  `json:"error"`
+			}
+			err = json.NewDecoder(resp.Body).Decode(&out)
+			resp.Body.Close() //nolint:errcheck
+			if err != nil {
+				return fmt.Errorf("%s: decoding response: %w", w.name, err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				return fmt.Errorf("%s: HTTP %d: %s", w.name, resp.StatusCode, out.Error)
+			}
+			fmt.Printf("  %-22s → %-13s %-8s cached=%v κ≈%.1g\n",
+				w.name, out.Variant, out.Grid, out.PlanCacheHit, out.CondEst)
+		}
+	}
+	var stats map[string]any
+	resp, err = client.Get(base + "/stats")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close() //nolint:errcheck
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		return err
+	}
+	fmt.Printf("\ndaemon stats: %v\n", stats)
+	return nil
+}

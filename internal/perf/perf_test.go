@@ -50,9 +50,10 @@ func TestSuiteNamesUniqueAndRunnable(t *testing.T) {
 				t.Fatalf("duplicate case name %q (quick=%v)", c.Name, quick)
 			}
 			seen[c.Name] = true
-			// The planner-overhead case is a latency measurement with no
-			// flop model; every compute case must have one.
-			if c.Flops <= 0 && !strings.HasPrefix(c.Name, "plan") {
+			// The planner-overhead and serve-plan cases are latency
+			// measurements with no flop model; every compute case must
+			// have one.
+			if c.Flops <= 0 && !strings.HasPrefix(c.Name, "plan") && !strings.HasPrefix(c.Name, "serve-plan") {
 				t.Fatalf("case %q has no flop count", c.Name)
 			}
 		}
@@ -103,13 +104,15 @@ func TestReportJSONRoundTrip(t *testing.T) {
 
 func TestCompare(t *testing.T) {
 	base := &Report{Schema: Schema, Results: []Result{
-		{Name: "a", NsPerOp: 100},
-		{Name: "b", NsPerOp: 100},
-		{Name: "gone", NsPerOp: 100},
+		{Name: "a", NsPerOp: 1e6},
+		{Name: "b", NsPerOp: 1e6},
+		{Name: "gone", NsPerOp: 1e6},
+		{Name: "probe", NsPerOp: 250}, // under MinGatedNs: never gated
 	}}
 	cur := &Report{Schema: Schema, Results: []Result{
-		{Name: "a", NsPerOp: 120}, // within 25%
-		{Name: "b", NsPerOp: 126}, // regressed
+		{Name: "a", NsPerOp: 1.20e6},  // within 25%
+		{Name: "b", NsPerOp: 1.26e6},  // regressed
+		{Name: "probe", NsPerOp: 900}, // 3.6× "slower", but a latency probe
 		{Name: "new", NsPerOp: 50},
 	}}
 	regs, missing := Compare(base, cur, 1.25)
@@ -121,5 +124,41 @@ func TestCompare(t *testing.T) {
 	}
 	if len(missing) != 1 || missing[0] != "gone" {
 		t.Fatalf("missing = %v", missing)
+	}
+}
+
+// TestServedPlanCheaperThanFresh pins the serving layer's reason to
+// exist: answering a repeated workload shape from the plan cache must
+// beat re-running the planner's enumeration. The two paths differ by
+// orders of magnitude (an LRU lookup vs pricing every variant and
+// grid), so a 2× margin is conservative enough to survive CI noise.
+func TestServedPlanCheaperThanFresh(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measures wall-clock")
+	}
+	var fresh, cached *Result
+	for _, c := range Suite(true, 0) {
+		c := c
+		switch {
+		case strings.HasPrefix(c.Name, "serve-plan-fresh"):
+			res, err := Measure(c, 50*time.Millisecond, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fresh = &res
+		case strings.HasPrefix(c.Name, "serve-plan-cached"):
+			res, err := Measure(c, 50*time.Millisecond, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cached = &res
+		}
+	}
+	if fresh == nil || cached == nil {
+		t.Fatal("serve-plan suite cases missing")
+	}
+	if cached.NsPerOp*2 > fresh.NsPerOp {
+		t.Fatalf("cached plan lookup %.0f ns/op is not cheaper than fresh planning %.0f ns/op",
+			cached.NsPerOp, fresh.NsPerOp)
 	}
 }

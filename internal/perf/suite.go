@@ -5,6 +5,8 @@ import (
 
 	"cacqr"
 	"cacqr/internal/lin"
+	"cacqr/internal/plan"
+	"cacqr/internal/serve"
 )
 
 // Suite returns the fixed benchmark suite. Every case is deterministic
@@ -63,6 +65,16 @@ func Suite(quick bool, workers int) []Case {
 	ceA := lin.RandomWithCond(sm, sn, 1e10, 210)
 	shA := cacqr.RandomWithCond(d1M, d1N, 1e10, 211)
 	opts := cacqr.Options{Workers: workers}
+	// Serving-layer fixtures: the internal plan-caching server for the
+	// pure lookup case and the public server for the end-to-end case.
+	// Batch windows are off — the suite measures lookup and execution
+	// cost, not admission latency — and Measure's warm-up op populates
+	// each cache before timing starts.
+	planServer := serve.New(serve.Config{BatchWindow: -1})
+	submitServer, err := cacqr.NewServer(cacqr.ServerOptions{Procs: auP, BatchWindow: -1, Options: opts})
+	if err != nil {
+		panic("perf: server options invalid by construction: " + err.Error())
+	}
 
 	nameSz := func(base string, dims ...int) string {
 		s := base
@@ -191,6 +203,44 @@ func Suite(quick bool, workers int) []Case {
 			Flops: lin.CQR2Flops(d3M, d3N),
 			Run: func() (Stats, error) {
 				res, err := cacqr.AutoFactorize(d3A, auP, opts)
+				if err != nil {
+					return Stats{}, err
+				}
+				return Stats{Msgs: res.Stats.Msgs, Words: res.Stats.Words}, nil
+			},
+		},
+		{
+			// Fresh planning per request: what a serving layer without a
+			// plan cache would pay on every arrival of this shape — the
+			// same enumeration the plan-grid case times, at the serving
+			// layer's κ-bucketed request.
+			Name: nameSz("serve-plan-fresh", plM, plN) + "-p" + itoa(plP),
+			Run: func() (Stats, error) {
+				_, err := plan.Best(plan.Bucketed(plan.Request{M: plM, N: plN, Procs: plP}))
+				return Stats{}, err
+			},
+		},
+		{
+			// The cached path for the identical request: one LRU lookup
+			// through internal/serve (the warm-up op populates the
+			// cache). The fresh-vs-cached ratio of these two rows is the
+			// serving layer's per-request planning amortization.
+			Name: nameSz("serve-plan-cached", plM, plN) + "-p" + itoa(plP),
+			Run: func() (Stats, error) {
+				_, _, err := planServer.Do(plan.Request{M: plM, N: plN, Procs: plP}, nil)
+				return Stats{}, err
+			},
+		},
+		{
+			// End to end through the public server at the cacqr2-auto
+			// case's shape and budget: Submit pays the per-request
+			// condition estimate and the factorization, but answers the
+			// plan from cache — compare with the cacqr2-auto row, which
+			// re-plans every request.
+			Name:  nameSz("serve-submit", d3M, d3N) + "-p" + itoa(auP),
+			Flops: lin.CQR2Flops(d3M, d3N),
+			Run: func() (Stats, error) {
+				res, err := submitServer.Submit(cacqr.SubmitRequest{A: d3A})
 				if err != nil {
 					return Stats{}, err
 				}

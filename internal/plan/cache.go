@@ -1,0 +1,111 @@
+package plan
+
+import (
+	"fmt"
+	"math"
+
+	"cacqr/internal/costmodel"
+)
+
+// κ-bucketing: a serving layer cannot cache one plan per exact condition
+// estimate — two requests with κ = 3.1e9 and κ = 4.7e9 would never share
+// a cache line even though every variant's stability verdict is the same
+// for both. Buckets are decades of log₁₀κ, and a cached plan is made
+// valid for its whole bucket by planning at the bucket's UPPER edge
+// (BucketCeil): per the Fukaya et al. shifted-CholeskyQR3 bound (and the
+// §I CholeskyQR2 criterion) PredictOrthogonality is monotonically
+// non-decreasing in κ for every variant, so a plan that survives the
+// condition gate at the edge survives everywhere inside the bucket.
+
+// MaxKappaBucket is the last finite bucket: κ > 10¹⁶ (beyond 1/ε, i.e.
+// numerically rank-deficient, including a +Inf estimate) all lands here,
+// where only the unconditionally stable Householder variants survive.
+const MaxKappaBucket = 17
+
+// KappaBucket maps a condition estimate to its cache bucket: 0 for
+// "unknown or perfectly conditioned" (κ ≤ 1, the planner's no-information
+// value), b for κ in (10^(b-1), 10^b] with b = 1..16, and MaxKappaBucket
+// for anything beyond 10¹⁶ — +Inf (a rank-deficient estimate) included.
+// NaN and negative values are the caller's validation problem; they map
+// to MaxKappaBucket, the most conservative routing.
+func KappaBucket(cond float64) int {
+	if math.IsNaN(cond) || cond < 0 {
+		return MaxKappaBucket
+	}
+	if cond <= 1 {
+		return 0
+	}
+	if cond > 1e16 {
+		return MaxKappaBucket
+	}
+	b := int(math.Ceil(math.Log10(cond)))
+	if b < 1 {
+		b = 1
+	}
+	if b >= MaxKappaBucket {
+		return MaxKappaBucket
+	}
+	return b
+}
+
+// BucketCeil is the condition estimate a cached plan for bucket b must
+// be planned at: the bucket's upper edge, so the plan's condition gate
+// holds for every κ inside the bucket. Bucket 0 returns 0 (the planner's
+// "no information" value); MaxKappaBucket returns 1e17, beyond 1/ε, so
+// only the unconditionally stable variants survive.
+func BucketCeil(b int) float64 {
+	switch {
+	case b <= 0:
+		return 0
+	case b >= MaxKappaBucket:
+		return 1e17
+	default:
+		return math.Pow(10, float64(b))
+	}
+}
+
+// CacheKey identifies the set of requests that may share one cached
+// plan: the matrix shape, the processor budget, the planning machine,
+// the per-rank memory budget, the CA-CQR2 legend knobs, and the
+// κ-bucket. Two requests with equal keys get identical plans from
+// Enumerate/Best when planned at the bucket's edge, so a serving layer
+// can answer the second from cache. The zero Machine and an explicit
+// Stampede2 normalize to the same key (Enumerate treats them
+// identically).
+type CacheKey struct {
+	M, N, Procs            int
+	Machine                costmodel.Machine
+	MemBudget              int64
+	InverseDepth, BaseSize int
+	KappaBucket            int
+}
+
+// KeyFor derives the cache key of a request, bucketing its CondEst.
+func KeyFor(req Request) CacheKey {
+	mach := req.Machine
+	if mach == (costmodel.Machine{}) {
+		mach = costmodel.Stampede2
+	}
+	return CacheKey{
+		M: req.M, N: req.N, Procs: req.Procs,
+		Machine:      mach,
+		MemBudget:    req.MemBudget,
+		InverseDepth: req.InverseDepth,
+		BaseSize:     req.BaseSize,
+		KappaBucket:  KappaBucket(req.CondEst),
+	}
+}
+
+// Bucketed returns the request a cached plan for this key must be
+// produced from: the same request with CondEst replaced by the bucket's
+// upper edge. Plans from the bucketed request are valid for every
+// request mapping to the same key.
+func Bucketed(req Request) Request {
+	req.CondEst = BucketCeil(KappaBucket(req.CondEst))
+	return req
+}
+
+func (k CacheKey) String() string {
+	return fmt.Sprintf("%dx%d p≤%d %s mem=%d inv=%d base=%d κ-bucket=%d",
+		k.M, k.N, k.Procs, k.Machine.Name, k.MemBudget, k.InverseDepth, k.BaseSize, k.KappaBucket)
+}

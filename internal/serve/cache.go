@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"cacqr/internal/plan"
+)
+
+// planCache is a bounded LRU of planner decisions keyed by
+// plan.CacheKey. It is safe for concurrent use; Get promotes, Put
+// inserts-or-refreshes and evicts the least recently used entry past
+// capacity. Hit/miss/eviction counters are cumulative over the cache's
+// lifetime.
+type planCache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recently used; values are *cacheEntry
+	entries map[plan.CacheKey]*list.Element
+
+	hits, misses, evictions int64
+}
+
+type cacheEntry struct {
+	key  plan.CacheKey
+	plan plan.Plan
+}
+
+func newPlanCache(capacity int) *planCache {
+	return &planCache{
+		cap:     capacity,
+		order:   list.New(),
+		entries: make(map[plan.CacheKey]*list.Element, capacity),
+	}
+}
+
+func (c *planCache) Get(k plan.CacheKey) (plan.Plan, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[k]
+	if !ok {
+		c.misses++
+		return plan.Plan{}, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).plan, true
+}
+
+func (c *planCache) Put(k plan.CacheKey, p plan.Plan) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[k]; ok {
+		el.Value.(*cacheEntry).plan = p
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[k] = c.order.PushFront(&cacheEntry{key: k, plan: p})
+	for c.order.Len() > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.entries, last.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// snapshot returns the cumulative counters and current entry count.
+func (c *planCache) snapshot() (hits, misses, evictions int64, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions, c.order.Len()
+}

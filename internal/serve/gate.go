@@ -1,0 +1,56 @@
+package serve
+
+import "sync"
+
+// rankGate is a weighted semaphore over simulated-rank tokens: an
+// executing request holds as many tokens as its plan has ranks, so the
+// total number of simulated-rank goroutines in flight stays bounded by
+// the budget no matter how many requests arrive. Requests wanting more
+// tokens than the whole budget are clamped to it — they run, but alone.
+// FIFO fairness is not guaranteed; small requests may overtake a large
+// one that is still waiting for the budget to drain.
+type rankGate struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	avail int
+	cap   int
+}
+
+func newRankGate(budget int) *rankGate {
+	g := &rankGate{avail: budget, cap: budget}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// acquire blocks until n tokens are available and takes them, returning
+// the count actually held (n clamped to the budget, floored at 1).
+func (g *rankGate) acquire(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	if n > g.cap {
+		n = g.cap
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for g.avail < n {
+		g.cond.Wait()
+	}
+	g.avail -= n
+	return n
+}
+
+// release returns tokens taken by acquire.
+func (g *rankGate) release(n int) {
+	g.mu.Lock()
+	g.avail += n
+	g.mu.Unlock()
+	g.cond.Broadcast()
+}
+
+// usage reports (held, budget).
+func (g *rankGate) usage() (inFlight, budget int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.cap - g.avail, g.cap
+}

@@ -1,0 +1,227 @@
+// Package serve is the long-lived factorization service behind
+// cacqr.Server and cmd/cacqrd: the piece the ROADMAP's north star names.
+// The paper's observation is that the right (c, d, variant) choice
+// depends on the matrix shape, the machine, and the conditioning — but
+// not on the matrix *values* — so a serving process handling heavy
+// traffic should make that choice once per workload shape and amortize
+// it. This package implements exactly that amortization:
+//
+//   - a bounded LRU of planner decisions keyed by plan.CacheKey
+//     (shape, processor budget, machine, memory budget, legend knobs,
+//     and the κ-bucket of the condition estimate — see plan.KappaBucket),
+//     with cumulative hit/miss/eviction counters;
+//   - request batching: concurrent same-key requests admitted within a
+//     small window share ONE plan lookup (the first arrival leads, the
+//     rest join) and then execute concurrently;
+//   - a global simulated-rank budget: each executing request holds as
+//     many tokens as its plan has ranks, so a burst of 3D-grid requests
+//     cannot oversubscribe the host with P goroutines each — the budget
+//     bounds total in-flight simulated ranks, not requests.
+//
+// The package is deliberately matrix-free: it plans, caches, batches,
+// and gates, while the caller (cacqr.Server) supplies the executor that
+// runs a plan against actual data. That keeps the dependency direction
+// internal/serve → internal/plan with no cycle through the root package.
+package serve
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"cacqr/internal/plan"
+)
+
+// DefaultCacheEntries bounds the plan LRU when Config.CacheEntries = 0.
+const DefaultCacheEntries = 128
+
+// DefaultBatchWindow is the same-key admission window when
+// Config.BatchWindow = 0: long enough to catch a traffic burst, short
+// enough to be invisible next to a simulated factorization.
+const DefaultBatchWindow = 2 * time.Millisecond
+
+// DefaultRankBudget bounds total in-flight simulated ranks when
+// Config.RankBudget = 0.
+const DefaultRankBudget = 256
+
+// ErrClosed is returned by Do after Close.
+var ErrClosed = errors.New("serve: server is closed")
+
+// Config tunes a Server. The zero value selects the defaults above.
+type Config struct {
+	// CacheEntries bounds the plan LRU (0 = DefaultCacheEntries).
+	CacheEntries int
+	// BatchWindow is how long the first request for an uncached key
+	// waits for same-key followers before planning (0 =
+	// DefaultBatchWindow, negative = plan immediately).
+	BatchWindow time.Duration
+	// RankBudget bounds the total simulated ranks in flight across all
+	// executing requests (0 = DefaultRankBudget). A plan needing more
+	// ranks than the whole budget runs alone, holding the full budget.
+	RankBudget int
+	// Plan produces the decision for one (already κ-bucketed) request
+	// (nil = plan.Best).
+	Plan func(plan.Request) (plan.Plan, error)
+}
+
+// Stats is a snapshot of a Server's counters.
+type Stats struct {
+	// Requests is the number of Do calls admitted.
+	Requests int64
+	// Hits and Misses count plan-cache lookups; Evictions counts LRU
+	// evictions; Entries is the current cache population.
+	Hits, Misses, Evictions int64
+	Entries                 int
+	// Planned counts actual planner invocations; Batched counts
+	// requests that shared an in-flight lookup instead of planning
+	// (Misses = Planned + Batched when no plan call failed).
+	Planned, Batched int64
+	// InFlightRanks is the number of simulated-rank tokens currently
+	// held by executing requests; RankBudget is the bound.
+	InFlightRanks, RankBudget int
+}
+
+// HitRate is the fraction of admitted requests that avoided a planner
+// invocation (cache hits plus batch joins). 0 when no requests yet.
+func (s Stats) HitRate() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.Hits+s.Batched) / float64(s.Requests)
+}
+
+// Server is the concurrency-safe plan-caching service. Create with New,
+// submit with Do, retire with Close.
+type Server struct {
+	cfg   Config
+	cache *planCache
+	gate  *rankGate
+
+	mu       sync.Mutex
+	closed   bool
+	inflight map[plan.CacheKey]*batch
+	wg       sync.WaitGroup
+
+	requests, planned, batched int64
+}
+
+// batch is one in-flight plan lookup that same-key requests share.
+type batch struct {
+	done chan struct{} // closed when plan/err are set
+	plan plan.Plan
+	err  error
+}
+
+// New builds a Server from the config (zero value = all defaults).
+func New(cfg Config) *Server {
+	if cfg.CacheEntries <= 0 {
+		cfg.CacheEntries = DefaultCacheEntries
+	}
+	if cfg.BatchWindow == 0 {
+		cfg.BatchWindow = DefaultBatchWindow
+	}
+	if cfg.RankBudget <= 0 {
+		cfg.RankBudget = DefaultRankBudget
+	}
+	if cfg.Plan == nil {
+		cfg.Plan = plan.Best
+	}
+	return &Server{
+		cfg:      cfg,
+		cache:    newPlanCache(cfg.CacheEntries),
+		gate:     newRankGate(cfg.RankBudget),
+		inflight: make(map[plan.CacheKey]*batch),
+	}
+}
+
+// Do resolves a plan for the request — from cache, from an in-flight
+// same-key lookup, or by planning fresh at the request's κ-bucket edge —
+// and then runs exec(plan) under the global rank budget. It reports the
+// plan, whether it came from the cache or a shared lookup (hit), and
+// exec's error. Safe for arbitrary concurrent use.
+func (s *Server) Do(req plan.Request, exec func(plan.Plan) error) (plan.Plan, bool, error) {
+	key := plan.KeyFor(req)
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return plan.Plan{}, false, ErrClosed
+	}
+	s.requests++
+	s.wg.Add(1)
+	defer s.wg.Done()
+
+	p, ok := s.cache.Get(key)
+	hit := ok
+	if !ok {
+		if b, joined := s.inflight[key]; joined {
+			// Ride the in-flight lookup.
+			s.batched++
+			s.mu.Unlock()
+			<-b.done
+			if b.err != nil {
+				return plan.Plan{}, false, b.err
+			}
+			p, hit = b.plan, true
+		} else {
+			// Lead a new lookup: wait the batch window for followers,
+			// then plan once at the bucket's conservative edge.
+			b := &batch{done: make(chan struct{})}
+			s.inflight[key] = b
+			s.planned++
+			s.mu.Unlock()
+			if s.cfg.BatchWindow > 0 {
+				time.Sleep(s.cfg.BatchWindow)
+			}
+			b.plan, b.err = s.cfg.Plan(plan.Bucketed(req))
+			if b.err == nil {
+				s.cache.Put(key, b.plan)
+			}
+			s.mu.Lock()
+			delete(s.inflight, key)
+			s.mu.Unlock()
+			close(b.done)
+			if b.err != nil {
+				return plan.Plan{}, false, b.err
+			}
+			p = b.plan
+		}
+	} else {
+		s.mu.Unlock()
+	}
+
+	if exec == nil {
+		return p, hit, nil
+	}
+	held := s.gate.acquire(p.Procs)
+	defer s.gate.release(held)
+	return p, hit, exec(p)
+}
+
+// Stats snapshots the counters.
+func (s *Server) Stats() Stats {
+	hits, misses, evictions, entries := s.cache.snapshot()
+	inFlight, budget := s.gate.usage()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Requests:      s.requests,
+		Hits:          hits,
+		Misses:        misses,
+		Evictions:     evictions,
+		Entries:       entries,
+		Planned:       s.planned,
+		Batched:       s.batched,
+		InFlightRanks: inFlight,
+		RankBudget:    budget,
+	}
+}
+
+// Close refuses new requests and waits for in-flight ones to finish.
+// Idempotent.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.wg.Wait()
+}

@@ -1,0 +1,181 @@
+package cacqr
+
+import (
+	"fmt"
+	"time"
+
+	"cacqr/internal/lin"
+	"cacqr/internal/plan"
+	"cacqr/internal/serve"
+)
+
+// Server is the long-lived factorization/least-squares service the
+// ROADMAP's north star names: it accepts requests of arbitrary shapes,
+// plans each with the condition-aware planner, caches the decisions in
+// a bounded LRU keyed by (m, n, procs, machine, memory budget, κ-bucket)
+// — see plan.KappaBucket for the bucketing — batches concurrent
+// same-key requests through one plan lookup, and executes them
+// concurrently under a global simulated-rank budget. The planning cost
+// is paid once per workload shape and amortized across traffic; the
+// numerical routing (κ ≳ 10⁷ off the plain CholeskyQR2 family) is
+// preserved because the κ-bucket is part of the cache key and cached
+// plans are produced at the bucket's conservative edge.
+//
+// Create with NewServer, submit with Submit (safe for arbitrary
+// concurrent use), observe with Stats, retire with Close. cmd/cacqrd
+// wraps a Server in a JSON-over-HTTP daemon.
+type Server struct {
+	opts  ServerOptions
+	inner *serve.Server
+}
+
+// ServerOptions configure a Server. The zero value is usable: 16-rank
+// planning budget per request, a 128-entry plan cache, a 2ms batch
+// window, and a 256-rank global execution budget.
+type ServerOptions struct {
+	// Procs is the default per-request planning budget (maximum
+	// simulated ranks a plan may use) when SubmitRequest.Procs is 0.
+	// Defaults to 16.
+	Procs int
+	// CacheEntries bounds the plan LRU (0 = 128).
+	CacheEntries int
+	// BatchWindow is how long the first request for an uncached plan key
+	// waits for same-key followers before planning — the burst-batching
+	// knob (0 = 2ms, negative = plan immediately).
+	BatchWindow time.Duration
+	// RankBudget bounds the total simulated ranks executing at once
+	// across all in-flight requests (0 = 256). A single plan needing
+	// more than the whole budget runs alone.
+	RankBudget int
+	// Options carry the planning and execution knobs shared by every
+	// request: MemBudget, PlanMachine, InverseDepth, BaseSize, Workers,
+	// Timeout. Options.CondEst must stay unset — conditioning is
+	// per-request (SubmitRequest.CondEst).
+	Options Options
+}
+
+// SubmitRequest is one unit of work for Server.Submit.
+type SubmitRequest struct {
+	// A is the matrix to factor (required, m ≥ n).
+	A *Dense
+	// B, when non-nil, turns the request into a least-squares solve
+	// min ‖A·x − b‖₂ (length must equal A.Rows); nil requests the
+	// factorization only.
+	B []float64
+	// Procs overrides the server's default planning budget (0 = default).
+	Procs int
+	// CondEst is the caller's κ₂(A) hint. 0 = measure the same cheap
+	// power-iteration estimate AutoFactorize uses. The estimate is
+	// bucketed per decade for the plan-cache key, so nearby values share
+	// cached plans.
+	CondEst float64
+}
+
+// SubmitResult is the outcome of one request.
+type SubmitResult struct {
+	// Q, R are the factors of A.
+	Q, R *Dense
+	// X is the least-squares solution (solve requests only).
+	X []float64
+	// Plan is the executed plan — cached or freshly produced.
+	Plan *Plan
+	// CondEst is the condition estimate the routing used (the caller's
+	// hint, or the measured value).
+	CondEst float64
+	// PlanCacheHit reports whether the plan came from the cache or an
+	// in-flight same-key lookup instead of a fresh planner run.
+	PlanCacheHit bool
+	// Stats is the simulated run's measured per-processor cost.
+	Stats CostStats
+}
+
+// ServerStats snapshots a Server's counters: requests admitted, plan
+// cache hits/misses/evictions and population, planner invocations vs
+// batch joins, and the execution gate's in-flight rank tokens. The
+// cache-amortization rate is Stats().HitRate().
+type ServerStats = serve.Stats
+
+// NewServer builds a Server. Malformed shared Options (negative Workers,
+// a set CondEst, a negative Procs) are rejected up front so every later
+// Submit fails only for per-request reasons.
+func NewServer(o ServerOptions) (*Server, error) {
+	if err := checkOptions(o.Options); err != nil {
+		return nil, err
+	}
+	if o.Options.CondEst != 0 {
+		return nil, fmt.Errorf("cacqr: ServerOptions.Options.CondEst must be unset (conditioning is per-request)")
+	}
+	if o.Procs < 0 {
+		return nil, fmt.Errorf("cacqr: invalid default processor budget %d", o.Procs)
+	}
+	if o.Procs == 0 {
+		o.Procs = 16
+	}
+	return &Server{
+		opts: o,
+		inner: serve.New(serve.Config{
+			CacheEntries: o.CacheEntries,
+			BatchWindow:  o.BatchWindow,
+			RankBudget:   o.RankBudget,
+		}),
+	}, nil
+}
+
+// Submit plans, factors, and (for solve requests) back-substitutes one
+// request. Same-shaped, same-κ-bucket requests share one cached plan;
+// execution is admitted under the server's global rank budget. Safe for
+// arbitrary concurrent use; blocks until the request completes.
+func (s *Server) Submit(req SubmitRequest) (*SubmitResult, error) {
+	if req.A == nil {
+		return nil, fmt.Errorf("cacqr: Submit needs a matrix")
+	}
+	if req.B != nil && len(req.B) != req.A.Rows {
+		return nil, fmt.Errorf("cacqr: rhs length %d for %d rows", len(req.B), req.A.Rows)
+	}
+	if req.CondEst != 0 {
+		if err := checkOptions(Options{CondEst: req.CondEst}); err != nil {
+			return nil, err
+		}
+	}
+	procs := req.Procs
+	if procs == 0 {
+		procs = s.opts.Procs
+	}
+	if procs < 1 {
+		return nil, fmt.Errorf("cacqr: invalid processor budget %d", procs)
+	}
+	cond := req.CondEst
+	if cond == 0 {
+		cond = lin.EstimateCond(req.A.toLin(), condEstIters)
+	}
+	opts := s.opts.Options
+	opts.CondEst = cond
+
+	out := &SubmitResult{CondEst: cond}
+	pl, hit, err := s.inner.Do(planRequest(req.A.Rows, req.A.Cols, procs, opts), func(p plan.Plan) error {
+		res, err := FactorizePlan(req.A, p, s.opts.Options)
+		if err != nil {
+			return err
+		}
+		out.Q, out.R, out.Plan, out.Stats = res.Q, res.R, res.Plan, res.Stats
+		if req.B != nil {
+			out.X, err = solveWithQR(res.Q, res.R, req.B)
+		}
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.PlanCacheHit = hit
+	if out.Plan == nil { // defensive: the executor always sets it
+		out.Plan = &pl
+	}
+	return out, nil
+}
+
+// Stats snapshots the server's counters.
+func (s *Server) Stats() ServerStats { return s.inner.Stats() }
+
+// Close refuses new requests and waits for in-flight ones to drain.
+// Idempotent.
+func (s *Server) Close() { s.inner.Close() }
