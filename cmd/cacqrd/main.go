@@ -6,14 +6,21 @@
 // simulated-rank budget.
 //
 //	cacqrd [-addr :8377] [-procs 16] [-cache 128] [-rank-budget 256]
-//	       [-window 2ms] [-mem 0] [-machine stampede2] [-workers 0]
+//	       [-window 2ms] [-max-pending 1024] [-fuse-window 0]
+//	       [-mem 0] [-machine stampede2] [-workers 0]
+//
+// -max-pending bounds admitted-but-unfinished requests: past it the
+// daemon sheds load with HTTP 503 instead of queueing without bound.
+// -fuse-window, when positive, coalesces concurrent same-key requests
+// into one fused batched execution (the streaming form of SubmitBatch).
 //
 // Endpoints:
 //
 //	POST /v1/factorize  {"m","n","data"|"gen","procs","condest","want_factors"}
 //	POST /v1/solve      same, plus "b" (length m)
 //	GET  /healthz       liveness probe
-//	GET  /stats         plan-cache and execution-gate counters
+//	GET  /stats         plan-cache, admission, fusing, and per-key
+//	                    latency (p50/p95/p99) counters
 //
 // A request supplies the matrix either inline ("data": row-major values,
 // length m·n) or as a deterministic generator ("gen": {"seed","cond"}),
@@ -26,6 +33,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -36,6 +44,7 @@ import (
 	"time"
 
 	cacqr "cacqr"
+	"cacqr/internal/hist"
 )
 
 func main() {
@@ -45,6 +54,8 @@ func main() {
 		cache      = flag.Int("cache", 0, "plan-cache entries (0 = default 128)")
 		rankBudget = flag.Int("rank-budget", 0, "global simulated-rank execution budget (0 = default 256)")
 		window     = flag.Duration("window", 0, "same-key batch window (0 = default 2ms)")
+		maxPending = flag.Int("max-pending", 0, "pending-request bound before shedding load with 503 (0 = default 1024)")
+		fuseWindow = flag.Duration("fuse-window", 0, "same-key fused-execution window (0 = per-request execution)")
 		mem        = flag.Int64("mem", 0, "per-rank memory budget in bytes (0 = unlimited)")
 		maxElems   = flag.Int64("max-elems", 1<<24, "largest accepted m·n per request (0 = unlimited; guards the daemon against OOM)")
 		machine    = flag.String("machine", "stampede2", `planning machine ("stampede2" or "bluewaters")`)
@@ -66,23 +77,15 @@ func main() {
 		CacheEntries: *cache,
 		RankBudget:   *rankBudget,
 		BatchWindow:  *window,
+		MaxPending:   *maxPending,
+		FuseWindow:   *fuseWindow,
 		Options:      opts,
 	})
 	if err != nil {
 		log.Fatalf("cacqrd: %v", err)
 	}
 
-	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
-	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, statsJSON(srv.Stats()))
-	})
-	mux.HandleFunc("/v1/factorize", handle(srv, false, *maxElems))
-	mux.HandleFunc("/v1/solve", handle(srv, true, *maxElems))
-
-	httpSrv := &http.Server{Addr: *addr, Handler: mux}
+	httpSrv := &http.Server{Addr: *addr, Handler: buildMux(srv, *maxElems)}
 	done := make(chan struct{})
 	go func() {
 		sig := make(chan os.Signal, 1)
@@ -103,6 +106,21 @@ func main() {
 		log.Fatalf("cacqrd: %v", err)
 	}
 	<-done
+}
+
+// buildMux wires the daemon's endpoints onto a fresh mux — separated
+// from main so handler tests can drive it through httptest.
+func buildMux(srv *cacqr.Server, maxElems int64) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, statsJSON(srv.Stats()))
+	})
+	mux.HandleFunc("/v1/factorize", handle(srv, false, maxElems))
+	mux.HandleFunc("/v1/solve", handle(srv, true, maxElems))
+	return mux
 }
 
 // request is the wire form of one factorize/solve call.
@@ -171,7 +189,12 @@ func handle(srv *cacqr.Server, solve bool, maxElems int64) http.HandlerFunc {
 		start := time.Now()
 		res, err := srv.Submit(sub)
 		if err != nil {
-			writeError(w, http.StatusUnprocessableEntity, err)
+			code := http.StatusUnprocessableEntity
+			if errors.Is(err, cacqr.ErrOverloaded) {
+				// Shed load visibly: clients should back off, not queue.
+				code = http.StatusServiceUnavailable
+			}
+			writeError(w, code, err)
 			return
 		}
 		out := response{
@@ -221,7 +244,13 @@ func buildMatrix(req request, maxElems int64) (*cacqr.Dense, error) {
 }
 
 // statsJSON flattens ServerStats for the wire, adding the derived rate.
+// "latencies" maps plan-key strings to {"count","p50","p95","p99"}
+// (seconds, nearest-rank over the retained window); it is an empty
+// object until the first request completes.
 func statsJSON(st cacqr.ServerStats) map[string]any {
+	if st.Latencies == nil {
+		st.Latencies = map[string]hist.Summary{}
+	}
 	return map[string]any{
 		"requests":        st.Requests,
 		"hits":            st.Hits,
@@ -233,6 +262,12 @@ func statsJSON(st cacqr.ServerStats) map[string]any {
 		"in_flight_ranks": st.InFlightRanks,
 		"rank_budget":     st.RankBudget,
 		"hit_rate":        st.HitRate(),
+		"pending":         st.Pending,
+		"max_pending":     st.MaxPending,
+		"overloaded":      st.Overloaded,
+		"fused_batches":   st.FusedBatches,
+		"fused_requests":  st.FusedRequests,
+		"latencies":       st.Latencies,
 	}
 }
 

@@ -1,0 +1,154 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	cacqr "cacqr"
+)
+
+func newTestDaemon(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv, err := cacqr.NewServer(cacqr.ServerOptions{Procs: 8, BatchWindow: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(buildMux(srv, 1<<24))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func getJSON(t *testing.T, url string) map[string]any {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// /stats must carry the admission, fusing, and latency fields — with
+// "latencies" an empty JSON object (not null) on a fresh daemon, and a
+// per-key {"count","p50","p95","p99"} summary once traffic has flowed.
+func TestStatsJSONShape(t *testing.T) {
+	ts := newTestDaemon(t)
+
+	st := getJSON(t, ts.URL+"/stats")
+	for _, field := range []string{
+		"requests", "hits", "misses", "evictions", "entries", "planned",
+		"batched", "in_flight_ranks", "rank_budget", "hit_rate",
+		"pending", "max_pending", "overloaded", "fused_batches",
+		"fused_requests", "latencies",
+	} {
+		if _, ok := st[field]; !ok {
+			t.Fatalf("/stats missing %q: %v", field, st)
+		}
+	}
+	lat, ok := st["latencies"].(map[string]any)
+	if !ok {
+		t.Fatalf(`fresh "latencies" = %v (%T), want empty object`, st["latencies"], st["latencies"])
+	}
+	if len(lat) != 0 {
+		t.Fatalf("fresh daemon already has latency keys: %v", lat)
+	}
+
+	// Drive one factorization, then the key's summary must appear.
+	body, _ := json.Marshal(map[string]any{
+		"m": 256, "n": 16, "procs": 8, "condest": 10,
+		"gen": map[string]any{"seed": 7},
+	})
+	resp, err := http.Post(ts.URL+"/v1/factorize", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("factorize status %d", resp.StatusCode)
+	}
+
+	st = getJSON(t, ts.URL+"/stats")
+	lat, _ = st["latencies"].(map[string]any)
+	if len(lat) != 1 {
+		t.Fatalf("after one request, latencies has %d keys: %v", len(lat), lat)
+	}
+	for _, summary := range lat {
+		m, ok := summary.(map[string]any)
+		if !ok {
+			t.Fatalf("latency summary = %v (%T)", summary, summary)
+		}
+		for _, q := range []string{"count", "p50", "p95", "p99"} {
+			if _, ok := m[q]; !ok {
+				t.Fatalf("latency summary missing %q: %v", q, m)
+			}
+		}
+		if m["count"].(float64) != 1 {
+			t.Fatalf("count = %v, want 1", m["count"])
+		}
+		if m["p50"].(float64) <= 0 || m["p50"].(float64) != m["p99"].(float64) {
+			t.Fatalf("single-sample quantiles inconsistent: %v", m)
+		}
+	}
+	if st["max_pending"].(float64) <= 0 {
+		t.Fatalf("max_pending = %v, want the resolved default bound", st["max_pending"])
+	}
+}
+
+// An overloaded daemon sheds load with 503, not a hung connection.
+func TestOverloadedMapsTo503(t *testing.T) {
+	// MaxPending 1 plus a long fuse window: one in-process Submit opens a
+	// fuse window and holds the only pending slot until Close drains it —
+	// a deterministic way to saturate the daemon from a test.
+	srv, err := cacqr.NewServer(cacqr.ServerOptions{
+		Procs: 8, BatchWindow: -1, MaxPending: 1, FuseWindow: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(buildMux(srv, 1<<24))
+	t.Cleanup(ts.Close)
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := srv.Submit(cacqr.SubmitRequest{A: cacqr.RandomMatrix(64, 4, 1)})
+		done <- err
+	}()
+	deadline := time.After(10 * time.Second)
+	for srv.Stats().Pending == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("holding request never admitted")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	body, _ := json.Marshal(map[string]any{
+		"m": 64, "n": 4, "gen": map[string]any{"seed": 2},
+	})
+	resp, err := http.Post(ts.URL+"/v1/factorize", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("saturated daemon returned %d, want 503", resp.StatusCode)
+	}
+
+	srv.Close() // drains the held fuse window
+	if err := <-done; err != nil {
+		t.Fatalf("held request failed: %v", err)
+	}
+}

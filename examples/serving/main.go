@@ -8,7 +8,10 @@
 // distinct key and answers the rest from an LRU. This example fires
 // three shapes × two conditioning regimes concurrently, repeats each,
 // and prints per-workload routing plus throughput and the cache-hit
-// rate.
+// rate. It then switches to throughput mode: the same flood of
+// same-shape requests submitted one at a time versus one SubmitBatch
+// call, which fuses the whole group into strided batch kernels — and
+// closes with the per-key latency quantiles the server accumulated.
 //
 //	go run ./examples/serving            # in-process cacqr.Server
 //	go run ./examples/serving -addr http://127.0.0.1:8377 -rounds 1
@@ -134,7 +137,59 @@ func driveInProcess(rounds, procs int) error {
 	if st.HitRate() <= 0 {
 		return fmt.Errorf("expected repeated same-key traffic to hit the plan cache")
 	}
+	return driveBatched(srv, procs)
+}
+
+// driveBatched floods the server with one same-shape workload, first one
+// Submit at a time and then as a single SubmitBatch — the throughput
+// mode that fuses the group into strided batch kernels — and prints the
+// speedup plus the per-key latency quantiles.
+func driveBatched(srv *cacqr.Server, procs int) error {
+	const nb, m, n = 64, 512, 32
+	reqs := make([]cacqr.SubmitRequest, nb)
+	for i := range reqs {
+		reqs[i] = cacqr.SubmitRequest{A: cacqr.RandomMatrix(m, n, int64(5000+i)), Procs: procs, CondEst: 10}
+	}
+	fmt.Printf("\nthroughput mode: %d × %d×%d factorizations, per-request vs fused batch\n", nb, m, n)
+
+	start := time.Now()
+	for i := range reqs {
+		if _, err := srv.Submit(reqs[i]); err != nil {
+			return fmt.Errorf("submit %d: %w", i, err)
+		}
+	}
+	perReq := time.Since(start)
+
+	start = time.Now()
+	for i, it := range srv.SubmitBatch(reqs) {
+		if it.Err != nil {
+			return fmt.Errorf("batch item %d: %w", i, it.Err)
+		}
+	}
+	fused := time.Since(start)
+
+	fmt.Printf("  per-request Submit loop: %8v  (%.0f req/s)\n",
+		perReq.Round(time.Millisecond), float64(nb)/perReq.Seconds())
+	fmt.Printf("  one SubmitBatch call:    %8v  (%.0f req/s) — %.1fx\n",
+		fused.Round(time.Millisecond), float64(nb)/fused.Seconds(), float64(perReq)/float64(fused))
+
+	st := srv.Stats()
+	fmt.Printf("  fused: %d batches covering %d requests\n\nper-key latency quantiles:\n", st.FusedBatches, st.FusedRequests)
+	keys := make([]string, 0, len(st.Latencies))
+	for k := range st.Latencies {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		s := st.Latencies[k]
+		fmt.Printf("  %-34s n=%-5d p50=%-9v p95=%-9v p99=%v\n", k, s.Count,
+			secs(s.P50), secs(s.P95), secs(s.P99))
+	}
 	return nil
+}
+
+func secs(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second)).Round(10 * time.Microsecond)
 }
 
 // driveHTTP fires one workload sweep at a running cacqrd and prints the

@@ -38,9 +38,11 @@ func CholeskyQR(a *lin.Matrix, workers int) (q, r *lin.Matrix, err error) {
 	if err != nil {
 		return nil, nil, fmt.Errorf("%w: %v", ErrIllConditioned, err)
 	}
-	q = lin.NewMatrix(a.Rows, a.Cols)
-	// Q = A·R⁻¹ = A·(L⁻¹)ᵀ.
-	lin.GemmParallel(workers, false, true, 1, a, y, 0, q)
+	// Q = A·R⁻¹ = A·(L⁻¹)ᵀ, applied as a triangular multiply: Y = L⁻¹ is
+	// lower triangular, so the dense GEMM formulation would spend half its
+	// flops multiplying by exact zeros.
+	q = a.Clone()
+	lin.TrmmParallel(workers, lin.Right, lin.Lower, true, y, q)
 	return q, l.T(), nil
 }
 
@@ -88,8 +90,8 @@ func ShiftedCholeskyQR(a *lin.Matrix, workers int) (q, r *lin.Matrix, err error)
 	if err != nil {
 		return nil, nil, fmt.Errorf("%w: shifted Gram still indefinite: %v", ErrIllConditioned, err)
 	}
-	q = lin.NewMatrix(m, n)
-	lin.GemmParallel(workers, false, true, 1, a, y, 0, q)
+	q = a.Clone()
+	lin.TrmmParallel(workers, lin.Right, lin.Lower, true, y, q)
 	return q, l.T(), nil
 }
 

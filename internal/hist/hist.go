@@ -1,0 +1,91 @@
+// Package hist provides the bounded sliding-window latency histograms
+// behind serve.Stats: per-key p50/p95/p99 over the most recent
+// observations, with strictly bounded memory no matter how long the
+// server runs. Quantiles use the nearest-rank definition on the window's
+// sorted values — deterministic, exact for known inputs, and free of
+// interpolation surprises in tests and dashboards.
+package hist
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// DefaultWindow is the per-key observation window when New is handed a
+// non-positive size.
+const DefaultWindow = 1024
+
+// Window is a concurrency-safe ring buffer of the most recent latency
+// observations. The zero value is not usable; create with New.
+type Window struct {
+	mu    sync.Mutex
+	buf   []float64 // seconds; ring of the last len(buf) observations
+	next  int       // ring cursor
+	fill  int       // populated entries, ≤ len(buf)
+	count int64     // total observations ever, for throughput accounting
+}
+
+// New returns a window retaining the latest size observations
+// (non-positive = DefaultWindow).
+func New(size int) *Window {
+	if size <= 0 {
+		size = DefaultWindow
+	}
+	return &Window{buf: make([]float64, size)}
+}
+
+// Observe records one request latency.
+func (w *Window) Observe(d time.Duration) {
+	w.mu.Lock()
+	w.buf[w.next] = d.Seconds()
+	w.next = (w.next + 1) % len(w.buf)
+	if w.fill < len(w.buf) {
+		w.fill++
+	}
+	w.count++
+	w.mu.Unlock()
+}
+
+// Summary is the JSON-ready quantile snapshot surfaced by /stats.
+// Quantiles are in seconds; Count is the total number of observations
+// ever recorded (the quantiles cover only the retained window).
+type Summary struct {
+	Count int64   `json:"count"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// Summary snapshots the window. An empty window reports all zeros.
+func (w *Window) Summary() Summary {
+	w.mu.Lock()
+	n := w.fill
+	vals := make([]float64, n)
+	copy(vals, w.buf[:n])
+	count := w.count
+	w.mu.Unlock()
+	if n == 0 {
+		return Summary{}
+	}
+	sort.Float64s(vals)
+	return Summary{
+		Count: count,
+		P50:   nearestRank(vals, 50),
+		P95:   nearestRank(vals, 95),
+		P99:   nearestRank(vals, 99),
+	}
+}
+
+// nearestRank returns the pct-percentile of sorted vals by the
+// nearest-rank definition: the value at 1-based rank ⌈pct·n/100⌉. The
+// rank is computed in integer arithmetic so the boundary cases (n a
+// multiple of 100/gcd) cannot be pushed off by float rounding.
+func nearestRank(sorted []float64, pct int) float64 {
+	n := len(sorted)
+	rank := (n*pct + 99) / 100
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}

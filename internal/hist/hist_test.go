@@ -1,0 +1,105 @@
+package hist
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// Known inputs → exact nearest-rank quantiles. With 1..100 ms observed,
+// rank ⌈q·100⌉ is exactly the q-th percentile value in ms.
+func TestQuantilesExactOnHundredValues(t *testing.T) {
+	w := New(128)
+	for i := 1; i <= 100; i++ {
+		w.Observe(time.Duration(i) * time.Millisecond)
+	}
+	s := w.Summary()
+	if s.Count != 100 {
+		t.Fatalf("count = %d, want 100", s.Count)
+	}
+	for _, c := range []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"p50", s.P50, 0.050},
+		{"p95", s.P95, 0.095},
+		{"p99", s.P99, 0.099},
+	} {
+		if c.got != c.want {
+			t.Fatalf("%s = %v, want %v", c.name, c.got, c.want)
+		}
+	}
+}
+
+// Nearest-rank boundary cases on tiny windows: every quantile of a
+// single observation is that observation; with two, p50 is the lower.
+func TestQuantilesTinyWindows(t *testing.T) {
+	w := New(8)
+	w.Observe(40 * time.Millisecond)
+	s := w.Summary()
+	if s.P50 != 0.040 || s.P95 != 0.040 || s.P99 != 0.040 {
+		t.Fatalf("single-value summary %+v", s)
+	}
+	w.Observe(80 * time.Millisecond)
+	s = w.Summary()
+	if s.P50 != 0.040 {
+		t.Fatalf("p50 of {40ms, 80ms} = %v, want 0.040 (rank ⌈0.5·2⌉ = 1)", s.P50)
+	}
+	if s.P99 != 0.080 {
+		t.Fatalf("p99 of {40ms, 80ms} = %v, want 0.080", s.P99)
+	}
+}
+
+func TestEmptyWindowIsAllZeros(t *testing.T) {
+	if s := New(16).Summary(); s != (Summary{}) {
+		t.Fatalf("empty window summary %+v, want zero value", s)
+	}
+}
+
+// The ring must retain only the newest size observations while Count
+// keeps the lifetime total.
+func TestWindowEvictsOldest(t *testing.T) {
+	w := New(4)
+	for i := 1; i <= 10; i++ {
+		w.Observe(time.Duration(i) * time.Second)
+	}
+	s := w.Summary()
+	if s.Count != 10 {
+		t.Fatalf("count = %d, want 10", s.Count)
+	}
+	// Window holds {7, 8, 9, 10}s: p50 is rank 2 = 8s, p99 is rank 4 = 10s.
+	if s.P50 != 8 || s.P99 != 10 {
+		t.Fatalf("windowed quantiles %+v, want p50=8 p99=10", s)
+	}
+}
+
+func TestDefaultWindowSize(t *testing.T) {
+	w := New(0)
+	if len(w.buf) != DefaultWindow {
+		t.Fatalf("New(0) window = %d, want %d", len(w.buf), DefaultWindow)
+	}
+}
+
+// Histogram recording is the hot path of every served request; it must
+// be safe under arbitrary concurrency (run with -race in CI).
+func TestConcurrentObserveAndSummary(t *testing.T) {
+	w := New(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				w.Observe(time.Duration(g*200+i) * time.Microsecond)
+				if i%50 == 0 {
+					w.Summary()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s := w.Summary(); s.Count != 1600 {
+		t.Fatalf("count = %d, want 1600", s.Count)
+	}
+}

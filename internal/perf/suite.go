@@ -75,6 +75,22 @@ func Suite(quick bool, workers int) []Case {
 	if err != nil {
 		panic("perf: server options invalid by construction: " + err.Error())
 	}
+	// Throughput-mode fixtures: a flood of same-shape small QRs, driven
+	// once as per-request Submits and once as one fused SubmitBatch. The
+	// ratio of these two rows is the batched mode's throughput multiplier
+	// (the CondEst hint routes both paths into the CQR2 family).
+	nbB, bM, bN, bP := 256, 512, 32, 8
+	if quick {
+		nbB, bM, bN = 64, 256, 16
+	}
+	batchReqs := make([]cacqr.SubmitRequest, nbB)
+	for i := range batchReqs {
+		batchReqs[i] = cacqr.SubmitRequest{A: cacqr.RandomMatrix(bM, bN, int64(300+i)), Procs: bP, CondEst: 10}
+	}
+	batchServer, err := cacqr.NewServer(cacqr.ServerOptions{Procs: bP, BatchWindow: -1, Options: opts})
+	if err != nil {
+		panic("perf: server options invalid by construction: " + err.Error())
+	}
 
 	nameSz := func(base string, dims ...int) string {
 		s := base
@@ -245,6 +261,38 @@ func Suite(quick bool, workers int) []Case {
 					return Stats{}, err
 				}
 				return Stats{Msgs: res.Stats.Msgs, Words: res.Stats.Words}, nil
+			},
+		},
+		{
+			// The throughput-mode baseline: the same flood of small QRs,
+			// one Submit per request — each paying its own plan-cache
+			// lookup, gate admission, and goroutine-pool spin-up.
+			Name:  nameSz("serve-sequential-submits", nbB, bM, bN),
+			Flops: int64(nbB) * lin.CQR2Flops(bM, bN),
+			Run: func() (Stats, error) {
+				for i := range batchReqs {
+					if _, err := batchServer.Submit(batchReqs[i]); err != nil {
+						return Stats{}, err
+					}
+				}
+				return Stats{}, nil
+			},
+		},
+		{
+			// The fused path for the identical flood: one SubmitBatch —
+			// one plan resolution and one strided BatchSYRK/BatchGEMM
+			// sweep per CholeskyQR pass for the whole batch. This row
+			// versus serve-sequential-submits is the ISSUE's ≥2×
+			// throughput acceptance gate.
+			Name:  nameSz("serve-batch-fused", nbB, bM, bN),
+			Flops: int64(nbB) * lin.CQR2Flops(bM, bN),
+			Run: func() (Stats, error) {
+				for _, it := range batchServer.SubmitBatch(batchReqs) {
+					if it.Err != nil {
+						return Stats{}, it.Err
+					}
+				}
+				return Stats{}, nil
 			},
 		},
 	}

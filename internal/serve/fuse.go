@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"cacqr/internal/plan"
+)
+
+// Fused execution: where the batch window in resolve shares one PLAN
+// lookup among same-key requests, DoFused goes one step further and
+// shares one EXECUTION. The first request for a key opens a fuse window;
+// same-key requests arriving inside it join the group; when the window
+// closes the leader runs the whole group as one fused batch (one rank
+// gate acquisition, one strided-kernel sweep) and distributes per-item
+// results. This is the streaming counterpart of DoBatch for callers that
+// submit one request at a time.
+
+// fuseGroup is one open-or-executing fuse window. payloads/sealed are
+// guarded by Server.mu until sealed; after seal only the leader touches
+// the group until done closes, then everything is read-only.
+type fuseGroup struct {
+	done     chan struct{} // closed when plan/hit/err/errs are final
+	payloads []any
+	sealed   bool
+
+	plan plan.Plan
+	hit  bool
+	err  error   // group-level failure (planning); overrides errs
+	errs []error // per-payload results from lead, index-aligned
+}
+
+// DoFused admits one request carrying payload, fuses it with concurrent
+// same-key requests inside Config.FuseWindow, and has the group's leader
+// execute all payloads in one lead call under one rank-gate acquisition.
+// lead receives the group's payloads in arrival order and returns
+// index-aligned per-payload errors (nil = all succeeded); each caller
+// gets its own entry. Close seals open windows immediately, so a
+// partially-filled group drains rather than waiting out its window.
+func (s *Server) DoFused(req plan.Request, payload any, lead func(p plan.Plan, payloads []any) []error) (plan.Plan, bool, error) {
+	if !s.adm.admit(1) {
+		return plan.Plan{}, false, ErrOverloaded
+	}
+	defer s.adm.done(1)
+	if err := s.enter(1); err != nil {
+		return plan.Plan{}, false, err
+	}
+	defer s.wg.Done()
+	start := time.Now()
+	key := plan.KeyFor(req)
+
+	s.mu.Lock()
+	if g, ok := s.fusing[key]; ok && !g.sealed {
+		// Join the open window; the leader executes for us.
+		idx := len(g.payloads)
+		g.payloads = append(g.payloads, payload)
+		s.mu.Unlock()
+		<-g.done
+		s.observe(key, time.Since(start), 1)
+		if g.err != nil {
+			return plan.Plan{}, false, g.err
+		}
+		return g.plan, g.hit, g.errs[idx]
+	}
+	// Lead a new window.
+	g := &fuseGroup{done: make(chan struct{}), payloads: []any{payload}}
+	s.fusing[key] = g
+	s.mu.Unlock()
+
+	if s.cfg.FuseWindow > 0 {
+		s.pause(s.cfg.FuseWindow)
+	}
+
+	s.mu.Lock()
+	g.sealed = true
+	delete(s.fusing, key)
+	n := len(g.payloads)
+	s.fusedBatches++
+	s.fusedRequests += int64(n)
+	s.mu.Unlock()
+
+	// One plan resolution for the group (no second window — the fuse
+	// window already played that role), then one fused execution.
+	g.plan, g.hit, g.err = s.resolve(key, req, int64(n), false)
+	if g.err == nil {
+		held := s.gate.acquire(g.plan.Procs)
+		g.errs = lead(g.plan, g.payloads)
+		s.gate.release(held)
+		if g.errs == nil {
+			g.errs = make([]error, n)
+		} else if len(g.errs) != n {
+			g.err = fmt.Errorf("serve: fused lead returned %d results for %d payloads", len(g.errs), n)
+		}
+	}
+	close(g.done)
+	s.observe(key, time.Since(start), 1)
+	if g.err != nil {
+		return plan.Plan{}, false, g.err
+	}
+	return g.plan, g.hit, g.errs[0]
+}

@@ -1,6 +1,66 @@
 package serve
 
-import "sync"
+import (
+	"errors"
+	"sync"
+)
+
+// ErrOverloaded is returned when the server's pending-request bound is
+// reached: the request was refused at admission, before any planning or
+// queueing, so the caller can shed load or retry with backoff. Nothing
+// already admitted is ever dropped.
+var ErrOverloaded = errors.New("serve: overloaded: pending-request bound reached")
+
+// admission is the bounded front door: a counter of admitted-but-not-
+// finished request units with a hard ceiling. It never queues — a
+// request that would push pending past the bound is refused immediately
+// with ErrOverloaded. That keeps worst-case memory and latency bounded
+// under overload: the alternative (an unbounded cond-wait like the rank
+// gate's) converts a traffic spike into an ever-growing queue whose
+// every entry eventually times out anyway.
+type admission struct {
+	mu         sync.Mutex
+	pending    int
+	max        int
+	overloaded int64
+}
+
+func newAdmission(max int) *admission {
+	return &admission{max: max}
+}
+
+// admit reserves n units, reporting false (and counting the refusal)
+// when the bound would be exceeded. n is floored at 1.
+func (ad *admission) admit(n int) bool {
+	if n < 1 {
+		n = 1
+	}
+	ad.mu.Lock()
+	defer ad.mu.Unlock()
+	if ad.pending+n > ad.max {
+		ad.overloaded++
+		return false
+	}
+	ad.pending += n
+	return true
+}
+
+// done returns units reserved by admit.
+func (ad *admission) done(n int) {
+	if n < 1 {
+		n = 1
+	}
+	ad.mu.Lock()
+	ad.pending -= n
+	ad.mu.Unlock()
+}
+
+// usage reports (pending, bound, refusals so far).
+func (ad *admission) usage() (pending, max int, overloaded int64) {
+	ad.mu.Lock()
+	defer ad.mu.Unlock()
+	return ad.pending, ad.max, ad.overloaded
+}
 
 // rankGate is a weighted semaphore over simulated-rank tokens: an
 // executing request holds as many tokens as its plan has ranks, so the

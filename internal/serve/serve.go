@@ -26,9 +26,11 @@ package serve
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"time"
 
+	"cacqr/internal/hist"
 	"cacqr/internal/plan"
 )
 
@@ -43,6 +45,16 @@ const DefaultBatchWindow = 2 * time.Millisecond
 // DefaultRankBudget bounds total in-flight simulated ranks when
 // Config.RankBudget = 0.
 const DefaultRankBudget = 256
+
+// DefaultMaxPending bounds admitted-but-unfinished request units when
+// Config.MaxPending = 0. Past it, requests fail fast with ErrOverloaded.
+const DefaultMaxPending = 1024
+
+// maxLatencyKeys bounds the per-key histogram map: a hostile traffic mix
+// of unbounded distinct shapes must not grow server memory without
+// bound. Eviction is crude (an arbitrary key); per-key latency tracking
+// is best-effort observability, not an accounting ledger.
+const maxLatencyKeys = 4096
 
 // ErrClosed is returned by Do after Close.
 var ErrClosed = errors.New("serve: server is closed")
@@ -59,6 +71,20 @@ type Config struct {
 	// executing requests (0 = DefaultRankBudget). A plan needing more
 	// ranks than the whole budget runs alone, holding the full budget.
 	RankBudget int
+	// MaxPending bounds admitted-but-unfinished request units (0 =
+	// DefaultMaxPending). The bound is enforced by refusal, never by
+	// queueing: a request that would exceed it gets ErrOverloaded
+	// immediately, while everything already admitted runs to completion.
+	MaxPending int
+	// FuseWindow is how long the first DoFused request for a key waits
+	// for same-key followers before sealing the group and executing it
+	// as one fused batch (0 or negative = execute immediately; fusing
+	// then only catches requests that arrive while a leader is between
+	// admission and seal).
+	FuseWindow time.Duration
+	// LatencyWindow is the per-key sliding window size for the latency
+	// histograms (0 = hist.DefaultWindow).
+	LatencyWindow int
 	// Plan produces the decision for one (already κ-bucketed) request
 	// (nil = plan.Best).
 	Plan func(plan.Request) (plan.Plan, error)
@@ -66,7 +92,8 @@ type Config struct {
 
 // Stats is a snapshot of a Server's counters.
 type Stats struct {
-	// Requests is the number of Do calls admitted.
+	// Requests is the number of request units admitted (a DoBatch of n
+	// counts n).
 	Requests int64
 	// Hits and Misses count plan-cache lookups; Evictions counts LRU
 	// evictions; Entries is the current cache population.
@@ -79,6 +106,18 @@ type Stats struct {
 	// InFlightRanks is the number of simulated-rank tokens currently
 	// held by executing requests; RankBudget is the bound.
 	InFlightRanks, RankBudget int
+	// Overloaded counts requests refused at admission (ErrOverloaded);
+	// Pending is the request units currently admitted and unfinished;
+	// MaxPending is the bound they were checked against.
+	Overloaded          int64
+	Pending, MaxPending int
+	// FusedBatches counts fused executions (DoBatch calls plus sealed
+	// DoFused groups); FusedRequests counts the request units they
+	// carried.
+	FusedBatches, FusedRequests int64
+	// Latencies maps plan.CacheKey strings to per-key latency quantiles
+	// over the most recent LatencyWindow observations.
+	Latencies map[string]hist.Summary
 }
 
 // HitRate is the fraction of admitted requests that avoided a planner
@@ -96,13 +135,20 @@ type Server struct {
 	cfg   Config
 	cache *planCache
 	gate  *rankGate
+	adm   *admission
 
 	mu       sync.Mutex
 	closed   bool
+	closing  chan struct{} // closed by Close; wakes batch/fuse windows
 	inflight map[plan.CacheKey]*batch
+	fusing   map[plan.CacheKey]*fuseGroup
 	wg       sync.WaitGroup
 
-	requests, planned, batched int64
+	requests, planned, batched  int64
+	fusedBatches, fusedRequests int64
+
+	histMu sync.Mutex
+	hists  map[string]*hist.Window
 }
 
 // batch is one in-flight plan lookup that same-key requests share.
@@ -123,6 +169,12 @@ func New(cfg Config) *Server {
 	if cfg.RankBudget <= 0 {
 		cfg.RankBudget = DefaultRankBudget
 	}
+	if cfg.MaxPending <= 0 {
+		cfg.MaxPending = DefaultMaxPending
+	}
+	if cfg.LatencyWindow <= 0 {
+		cfg.LatencyWindow = hist.DefaultWindow
+	}
 	if cfg.Plan == nil {
 		cfg.Plan = plan.Best
 	}
@@ -130,7 +182,11 @@ func New(cfg Config) *Server {
 		cfg:      cfg,
 		cache:    newPlanCache(cfg.CacheEntries),
 		gate:     newRankGate(cfg.RankBudget),
+		adm:      newAdmission(cfg.MaxPending),
+		closing:  make(chan struct{}),
 		inflight: make(map[plan.CacheKey]*batch),
+		fusing:   make(map[plan.CacheKey]*fuseGroup),
+		hists:    make(map[string]*hist.Window),
 	}
 }
 
@@ -138,70 +194,169 @@ func New(cfg Config) *Server {
 // same-key lookup, or by planning fresh at the request's κ-bucket edge —
 // and then runs exec(plan) under the global rank budget. It reports the
 // plan, whether it came from the cache or a shared lookup (hit), and
-// exec's error. Safe for arbitrary concurrent use.
+// exec's error. Requests past the pending bound are refused with
+// ErrOverloaded. Safe for arbitrary concurrent use.
 func (s *Server) Do(req plan.Request, exec func(plan.Plan) error) (plan.Plan, bool, error) {
-	key := plan.KeyFor(req)
-
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return plan.Plan{}, false, ErrClosed
+	if !s.adm.admit(1) {
+		return plan.Plan{}, false, ErrOverloaded
 	}
-	s.requests++
-	s.wg.Add(1)
+	defer s.adm.done(1)
+	if err := s.enter(1); err != nil {
+		return plan.Plan{}, false, err
+	}
 	defer s.wg.Done()
+	start := time.Now()
 
-	p, ok := s.cache.Get(key)
-	hit := ok
-	if !ok {
-		if b, joined := s.inflight[key]; joined {
-			// Ride the in-flight lookup.
-			s.batched++
-			s.mu.Unlock()
-			<-b.done
-			if b.err != nil {
-				return plan.Plan{}, false, b.err
-			}
-			p, hit = b.plan, true
-		} else {
-			// Lead a new lookup: wait the batch window for followers,
-			// then plan once at the bucket's conservative edge.
-			b := &batch{done: make(chan struct{})}
-			s.inflight[key] = b
-			s.planned++
-			s.mu.Unlock()
-			if s.cfg.BatchWindow > 0 {
-				time.Sleep(s.cfg.BatchWindow)
-			}
-			b.plan, b.err = s.cfg.Plan(plan.Bucketed(req))
-			if b.err == nil {
-				s.cache.Put(key, b.plan)
-			}
-			s.mu.Lock()
-			delete(s.inflight, key)
-			s.mu.Unlock()
-			close(b.done)
-			if b.err != nil {
-				return plan.Plan{}, false, b.err
-			}
-			p = b.plan
-		}
-	} else {
+	key := plan.KeyFor(req)
+	p, hit, err := s.resolve(key, req, 1, true)
+	if err != nil {
+		return plan.Plan{}, false, err
+	}
+	if exec != nil {
+		held := s.gate.acquire(p.Procs)
+		err = exec(p)
+		s.gate.release(held)
+	}
+	s.observe(key, time.Since(start), 1)
+	return p, hit, err
+}
+
+// DoBatch is Do for a caller-assembled batch of n same-key requests
+// executed as ONE fused run: n admission units, one plan resolution (no
+// batch-window wait — the batch is already assembled), one rank-gate
+// acquisition, one exec call, n latency observations. exec runs the
+// whole batch; per-item failures are the caller's to track.
+func (s *Server) DoBatch(req plan.Request, n int, exec func(plan.Plan) error) (plan.Plan, bool, error) {
+	if n <= 0 {
+		return plan.Plan{}, false, fmt.Errorf("serve: DoBatch of %d requests", n)
+	}
+	if !s.adm.admit(n) {
+		return plan.Plan{}, false, ErrOverloaded
+	}
+	defer s.adm.done(n)
+	if err := s.enter(int64(n)); err != nil {
+		return plan.Plan{}, false, err
+	}
+	defer s.wg.Done()
+	start := time.Now()
+
+	key := plan.KeyFor(req)
+	p, hit, err := s.resolve(key, req, int64(n), false)
+	if err != nil {
+		return plan.Plan{}, false, err
+	}
+	if exec != nil {
+		held := s.gate.acquire(p.Procs)
+		err = exec(p)
+		s.gate.release(held)
+	}
+	s.mu.Lock()
+	s.fusedBatches++
+	s.fusedRequests += int64(n)
+	s.mu.Unlock()
+	s.observe(key, time.Since(start), n)
+	return p, hit, err
+}
+
+// enter registers units admitted request units with the close
+// accounting: Close waits for every entered request, and nothing enters
+// after it. The caller must pair a successful enter with wg.Done.
+func (s *Server) enter(units int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.requests += units
+	s.wg.Add(1)
+	return nil
+}
+
+// resolve produces the plan for key — from cache, by riding an in-flight
+// same-key lookup (counted as units batched requests), or by leading a
+// fresh lookup at the κ-bucket's conservative edge. wait gates the
+// leader's batch-window sleep; joins and fused batches skip it. The
+// boolean reports whether the plan came from cache or a shared lookup.
+func (s *Server) resolve(key plan.CacheKey, req plan.Request, units int64, wait bool) (plan.Plan, bool, error) {
+	s.mu.Lock()
+	if p, ok := s.cache.Get(key); ok {
 		s.mu.Unlock()
+		return p, true, nil
 	}
+	if b, joined := s.inflight[key]; joined {
+		// Ride the in-flight lookup.
+		s.batched += units
+		s.mu.Unlock()
+		<-b.done
+		if b.err != nil {
+			return plan.Plan{}, false, b.err
+		}
+		return b.plan, true, nil
+	}
+	// Lead a new lookup: wait the batch window for followers, then plan
+	// once at the bucket's conservative edge.
+	b := &batch{done: make(chan struct{})}
+	s.inflight[key] = b
+	s.planned++
+	s.mu.Unlock()
+	if wait && s.cfg.BatchWindow > 0 {
+		s.pause(s.cfg.BatchWindow)
+	}
+	b.plan, b.err = s.cfg.Plan(plan.Bucketed(req))
+	if b.err == nil {
+		s.cache.Put(key, b.plan)
+	}
+	s.mu.Lock()
+	delete(s.inflight, key)
+	s.mu.Unlock()
+	close(b.done)
+	return b.plan, false, b.err
+}
 
-	if exec == nil {
-		return p, hit, nil
+// pause sleeps for d or until Close, whichever comes first — batch and
+// fuse windows must not delay shutdown or hold back a draining window.
+func (s *Server) pause(d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-s.closing:
 	}
-	held := s.gate.acquire(p.Procs)
-	defer s.gate.release(held)
-	return p, hit, exec(p)
+}
+
+// observe records n request latencies of duration d under the key's
+// histogram, creating it on first use (bounded by maxLatencyKeys).
+func (s *Server) observe(key plan.CacheKey, d time.Duration, n int) {
+	ks := key.String()
+	s.histMu.Lock()
+	w, ok := s.hists[ks]
+	if !ok {
+		if len(s.hists) >= maxLatencyKeys {
+			for k := range s.hists {
+				delete(s.hists, k)
+				break
+			}
+		}
+		w = hist.New(s.cfg.LatencyWindow)
+		s.hists[ks] = w
+	}
+	s.histMu.Unlock()
+	for i := 0; i < n; i++ {
+		w.Observe(d)
+	}
 }
 
 // Stats snapshots the counters.
 func (s *Server) Stats() Stats {
 	hits, misses, evictions, entries := s.cache.snapshot()
 	inFlight, budget := s.gate.usage()
+	pending, maxPending, overloaded := s.adm.usage()
+	s.histMu.Lock()
+	lat := make(map[string]hist.Summary, len(s.hists))
+	for k, w := range s.hists {
+		lat[k] = w.Summary()
+	}
+	s.histMu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Stats{
@@ -214,14 +369,24 @@ func (s *Server) Stats() Stats {
 		Batched:       s.batched,
 		InFlightRanks: inFlight,
 		RankBudget:    budget,
+		Overloaded:    overloaded,
+		Pending:       pending,
+		MaxPending:    maxPending,
+		FusedBatches:  s.fusedBatches,
+		FusedRequests: s.fusedRequests,
+		Latencies:     lat,
 	}
 }
 
-// Close refuses new requests and waits for in-flight ones to finish.
-// Idempotent.
+// Close refuses new requests, wakes any open batch/fuse windows so
+// partially-filled ones drain immediately, and waits for in-flight
+// requests to finish. Idempotent.
 func (s *Server) Close() {
 	s.mu.Lock()
-	s.closed = true
+	if !s.closed {
+		s.closed = true
+		close(s.closing)
+	}
 	s.mu.Unlock()
 	s.wg.Wait()
 }

@@ -2,12 +2,21 @@ package cacqr
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
+	"cacqr/internal/core"
 	"cacqr/internal/lin"
 	"cacqr/internal/plan"
 	"cacqr/internal/serve"
 )
+
+// ErrOverloaded is returned by Submit/SubmitBatch when the server's
+// pending-request bound (ServerOptions.MaxPending) is reached: the
+// request was refused at admission — nothing was queued and nothing
+// in flight was dropped — so the caller can shed load or retry with
+// backoff.
+var ErrOverloaded = serve.ErrOverloaded
 
 // Server is the long-lived factorization/least-squares service the
 // ROADMAP's north star names: it accepts requests of arbitrary shapes,
@@ -47,6 +56,17 @@ type ServerOptions struct {
 	// across all in-flight requests (0 = 256). A single plan needing
 	// more than the whole budget runs alone.
 	RankBudget int
+	// MaxPending bounds admitted-but-unfinished requests (a SubmitBatch
+	// of n counts n). Past the bound, submissions fail fast with
+	// ErrOverloaded instead of queueing without bound (0 = 1024).
+	MaxPending int
+	// FuseWindow, when positive, turns Submit into a streaming batcher:
+	// the first request for a plan key holds a window of this length
+	// open and concurrent same-key requests join it, the whole group
+	// then executing as ONE fused batched run (SubmitBatch semantics
+	// without the caller having to assemble the batch). 0 disables
+	// fusing for Submit; SubmitBatch always fuses.
+	FuseWindow time.Duration
 	// Options carry the planning and execution knobs shared by every
 	// request: MemBudget, PlanMachine, InverseDepth, BaseSize, Workers,
 	// Timeout. Options.CondEst must stay unset — conditioning is
@@ -85,8 +105,23 @@ type SubmitResult struct {
 	// PlanCacheHit reports whether the plan came from the cache or an
 	// in-flight same-key lookup instead of a fresh planner run.
 	PlanCacheHit bool
-	// Stats is the simulated run's measured per-processor cost.
+	// Fused reports that the request executed inside a fused batch (a
+	// SubmitBatch group or a FuseWindow coalescence) through the strided
+	// batch kernels rather than a per-request simulated run. Fused
+	// results match per-request results to working accuracy; Stats then
+	// carries the analytic critical-path flop count instead of a
+	// simulated measurement.
+	Fused bool
+	// Stats is the run's per-processor cost: measured from the simulated
+	// run for per-request execution, analytic for fused batches.
 	Stats CostStats
+}
+
+// BatchItem is one request's outcome within SubmitBatch: exactly one of
+// Result and Err is set.
+type BatchItem struct {
+	Result *SubmitResult
+	Err    error
 }
 
 // ServerStats snapshots a Server's counters: requests admitted, plan
@@ -117,6 +152,8 @@ func NewServer(o ServerOptions) (*Server, error) {
 			CacheEntries: o.CacheEntries,
 			BatchWindow:  o.BatchWindow,
 			RankBudget:   o.RankBudget,
+			MaxPending:   o.MaxPending,
+			FuseWindow:   o.FuseWindow,
 		}),
 	}, nil
 }
@@ -126,33 +163,15 @@ func NewServer(o ServerOptions) (*Server, error) {
 // execution is admitted under the server's global rank budget. Safe for
 // arbitrary concurrent use; blocks until the request completes.
 func (s *Server) Submit(req SubmitRequest) (*SubmitResult, error) {
-	if req.A == nil {
-		return nil, fmt.Errorf("cacqr: Submit needs a matrix")
+	preq, cond, err := s.prepare(req)
+	if err != nil {
+		return nil, err
 	}
-	if req.B != nil && len(req.B) != req.A.Rows {
-		return nil, fmt.Errorf("cacqr: rhs length %d for %d rows", len(req.B), req.A.Rows)
+	if s.opts.FuseWindow > 0 {
+		return s.submitFused(preq, req, cond)
 	}
-	if req.CondEst != 0 {
-		if err := checkOptions(Options{CondEst: req.CondEst}); err != nil {
-			return nil, err
-		}
-	}
-	procs := req.Procs
-	if procs == 0 {
-		procs = s.opts.Procs
-	}
-	if procs < 1 {
-		return nil, fmt.Errorf("cacqr: invalid processor budget %d", procs)
-	}
-	cond := req.CondEst
-	if cond == 0 {
-		cond = lin.EstimateCond(req.A.toLin(), condEstIters)
-	}
-	opts := s.opts.Options
-	opts.CondEst = cond
-
 	out := &SubmitResult{CondEst: cond}
-	pl, hit, err := s.inner.Do(planRequest(req.A.Rows, req.A.Cols, procs, opts), func(p plan.Plan) error {
+	pl, hit, err := s.inner.Do(preq, func(p plan.Plan) error {
 		res, err := FactorizePlan(req.A, p, s.opts.Options)
 		if err != nil {
 			return err
@@ -171,6 +190,208 @@ func (s *Server) Submit(req SubmitRequest) (*SubmitResult, error) {
 		out.Plan = &pl
 	}
 	return out, nil
+}
+
+// prepare validates one request and resolves its planner request: the
+// effective processor budget and the condition estimate (the caller's
+// hint, or the measured power-iteration value).
+func (s *Server) prepare(req SubmitRequest) (plan.Request, float64, error) {
+	if req.A == nil {
+		return plan.Request{}, 0, fmt.Errorf("cacqr: Submit needs a matrix")
+	}
+	if req.B != nil && len(req.B) != req.A.Rows {
+		return plan.Request{}, 0, fmt.Errorf("cacqr: rhs length %d for %d rows", len(req.B), req.A.Rows)
+	}
+	if req.CondEst != 0 {
+		if err := checkOptions(Options{CondEst: req.CondEst}); err != nil {
+			return plan.Request{}, 0, err
+		}
+	}
+	procs := req.Procs
+	if procs == 0 {
+		procs = s.opts.Procs
+	}
+	if procs < 1 {
+		return plan.Request{}, 0, fmt.Errorf("cacqr: invalid processor budget %d", procs)
+	}
+	cond := req.CondEst
+	if cond == 0 {
+		cond = lin.EstimateCond(req.A.toLin(), condEstIters)
+	}
+	opts := s.opts.Options
+	opts.CondEst = cond
+	return planRequest(req.A.Rows, req.A.Cols, procs, opts), cond, nil
+}
+
+// submitJob is one request riding a fused execution.
+type submitJob struct {
+	req SubmitRequest
+	out *SubmitResult
+	err error
+}
+
+// submitFused is Submit through the serve layer's fuse window:
+// concurrent same-key submissions coalesce into one fused batched
+// execution without the caller assembling a batch.
+func (s *Server) submitFused(preq plan.Request, req SubmitRequest, cond float64) (*SubmitResult, error) {
+	job := &submitJob{req: req, out: &SubmitResult{CondEst: cond}}
+	pl, hit, err := s.inner.DoFused(preq, job, func(p plan.Plan, payloads []any) []error {
+		jobs := make([]*submitJob, len(payloads))
+		for i, pay := range payloads {
+			jobs[i] = pay.(*submitJob)
+		}
+		s.execGroup(p, jobs)
+		errs := make([]error, len(jobs))
+		for i, j := range jobs {
+			errs[i] = j.err
+		}
+		return errs
+	})
+	if err != nil {
+		return nil, err
+	}
+	job.out.PlanCacheHit = hit
+	if job.out.Plan == nil {
+		job.out.Plan = &pl
+	}
+	return job.out, nil
+}
+
+// SubmitBatch submits many requests as one call, fusing same-plan-key
+// groups into single batched executions through the strided batch
+// kernels: per group, one plan resolution, one rank-gate admission, one
+// BatchSYRK/BatchGEMM sweep per CholeskyQR pass — instead of one
+// goroutine-pool spin-up per request. Outcomes are per item and
+// index-aligned with reqs: a malformed or ill-conditioned member gets
+// its own Err without failing its batch-mates, and a saturated server
+// refuses whole groups with ErrOverloaded. Distinct-key groups execute
+// concurrently. Safe for arbitrary concurrent use alongside Submit.
+func (s *Server) SubmitBatch(reqs []SubmitRequest) []BatchItem {
+	items := make([]BatchItem, len(reqs))
+	type group struct {
+		preq plan.Request
+		jobs []*submitJob
+		idxs []int
+	}
+	groups := make(map[plan.CacheKey]*group)
+	var order []*group // deterministic dispatch order
+	for i := range reqs {
+		preq, cond, err := s.prepare(reqs[i])
+		if err != nil {
+			items[i].Err = err
+			continue
+		}
+		key := plan.KeyFor(preq)
+		g := groups[key]
+		if g == nil {
+			g = &group{preq: preq}
+			groups[key] = g
+			order = append(order, g)
+		}
+		g.jobs = append(g.jobs, &submitJob{req: reqs[i], out: &SubmitResult{CondEst: cond}})
+		g.idxs = append(g.idxs, i)
+	}
+	var wg sync.WaitGroup
+	for _, g := range order {
+		wg.Add(1)
+		go func(g *group) {
+			defer wg.Done()
+			pl, hit, err := s.inner.DoBatch(g.preq, len(g.jobs), func(p plan.Plan) error {
+				s.execGroup(p, g.jobs)
+				return nil
+			})
+			for j, job := range g.jobs {
+				i := g.idxs[j]
+				switch {
+				case err != nil:
+					items[i].Err = err
+				case job.err != nil:
+					items[i].Err = job.err
+				default:
+					job.out.PlanCacheHit = hit
+					if job.out.Plan == nil {
+						job.out.Plan = &pl
+					}
+					items[i].Result = job.out
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	return items
+}
+
+// denseView wraps a contiguous lin.Matrix in a Dense without copying;
+// non-contiguous (strided-view) inputs fall back to a copy.
+func denseView(m *lin.Matrix) *Dense {
+	if m.Stride == m.Cols {
+		return &Dense{Rows: m.Rows, Cols: m.Cols, Data: m.Data}
+	}
+	return fromLin(m)
+}
+
+// execGroup runs one same-key group of jobs under an already-acquired
+// rank-gate slot. The CholeskyQR2 family routes through the fused
+// batched drivers (parallelism comes from the batch dimension, and the
+// per-item kernel sequence is the sequential one, so results match
+// per-request runs to working accuracy); TSQR and PGEQRF have no fused
+// kernels and fall back to per-item simulated runs. Per-item failures
+// land in job.err.
+func (s *Server) execGroup(p plan.Plan, jobs []*submitJob) {
+	switch p.Variant {
+	case plan.Sequential, plan.OneD, plan.CACQR2, plan.PanelCACQR2, plan.ShiftedCQR3:
+		shifted := p.Variant == plan.ShiftedCQR3
+		as := make([]*lin.Matrix, len(jobs))
+		for i, job := range jobs {
+			// Read-only views, not toLin copies: the batched drivers never
+			// mutate their inputs, and a 256-item batch window must not
+			// pay a full extra pass over the data just to cross the
+			// Dense/lin boundary.
+			a := job.req.A
+			as[i] = &lin.Matrix{Rows: a.Rows, Cols: a.Cols, Stride: a.Cols, Data: a.Data}
+		}
+		var qs, rs []*lin.Matrix
+		var errs []error
+		if shifted {
+			qs, rs, errs = core.BatchedShiftedCQR3(as, s.opts.Options.Workers)
+		} else {
+			qs, rs, errs = core.BatchedCQR2(as, s.opts.Options.Workers)
+		}
+		m, n := jobs[0].req.A.Rows, jobs[0].req.A.Cols
+		// Fused runs bypass the simulated runtime, so Stats carries the
+		// §IV analytic critical-path flop count (plus the extra shifted
+		// pass) instead of a measured cost.
+		flops := lin.CQR2Flops(m, n)
+		if shifted {
+			flops += lin.SyrkFlops(m, n) + lin.CholFlops(n) + lin.TriInvFlops(n) + lin.GemmFlops(m, n, n)
+		}
+		for i, job := range jobs {
+			if errs[i] != nil {
+				job.err = errs[i]
+				continue
+			}
+			job.out.Q, job.out.R = denseView(qs[i]), denseView(rs[i])
+			job.out.Fused = true
+			job.out.Stats = CostStats{Flops: flops}
+			if job.req.B != nil {
+				job.out.X, job.err = solveWithQR(job.out.Q, job.out.R, job.req.B)
+			}
+		}
+	default:
+		// No fused kernel for this variant: per-item simulated runs,
+		// sequentially under the group's single gate admission.
+		for _, job := range jobs {
+			res, err := FactorizePlan(job.req.A, p, s.opts.Options)
+			if err != nil {
+				job.err = err
+				continue
+			}
+			job.out.Q, job.out.R, job.out.Plan, job.out.Stats = res.Q, res.R, res.Plan, res.Stats
+			if job.req.B != nil {
+				job.out.X, job.err = solveWithQR(res.Q, res.R, job.req.B)
+			}
+		}
+	}
 }
 
 // Stats snapshots the server's counters.
