@@ -17,17 +17,13 @@
 package cacqr
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"cacqr/internal/core"
 	"cacqr/internal/costmodel"
-	"cacqr/internal/dist"
-	"cacqr/internal/grid"
 	"cacqr/internal/lin"
-	"cacqr/internal/pgeqrf"
-	"cacqr/internal/simmpi"
-	"cacqr/internal/tsqr"
 )
 
 // Dense is a row-major dense matrix, the package's public exchange type.
@@ -199,6 +195,17 @@ type Options struct {
 	// but not by the raw Factorize* entry points, which run exactly what
 	// they were asked to.
 	CondEst float64
+	// Transport selects how the distributed entry points execute: nil
+	// (or SimTransport()) runs the simulated goroutine runtime with its
+	// exact α-β-γ accounting; TCPTransport(workers...) runs the job
+	// across real OS worker processes, with measured traffic and
+	// wall-clock costs. The sequential entry points ignore it.
+	Transport *Transport
+
+	// ctx carries request-scoped cancellation into a run; set via the
+	// context-aware entry points (Server.SubmitCtx and friends). nil
+	// means no cancellation beyond Timeout.
+	ctx context.Context
 }
 
 // CostStats reports a run's measured per-processor cost in the paper's
@@ -208,7 +215,8 @@ type CostStats struct {
 	Msgs  int64   // α units: message latencies on the critical path
 	Words int64   // β units: words moved per processor
 	Flops int64   // γ units: floating point operations per processor
-	Time  float64 // virtual seconds under simmpi.DefaultCost
+	Bytes int64   // raw wire bytes per processor (TCP transport; 0 simulated)
+	Time  float64 // virtual seconds under simmpi.DefaultCost (wall-clock over TCP)
 }
 
 // Result carries the distributed factorization's outcome.
@@ -225,85 +233,24 @@ type Result struct {
 	CondEst float64
 }
 
-// FactorizeOnGrid runs CA-CQR2 on a simulated grid: the m×n matrix is
+// FactorizeOnGrid runs CA-CQR2 on a c × d × c grid: the m×n matrix is
 // scattered from rank 0 in the paper's cyclic layout over P = c·d·c
-// goroutine ranks (replicated across depth slices by the grid's z
-// broadcast, as a cluster would load it), factored, and the factors
-// gathered back. Requires d | m and c | n.
+// ranks (replicated across depth slices by the grid's z broadcast, as a
+// cluster would load it), factored, and the factors gathered back.
+// Requires d | m and c | n. Ranks are simulated goroutines by default;
+// Options.Transport can move them onto real OS worker processes.
 func FactorizeOnGrid(a *Dense, spec GridSpec, opts Options) (*Result, error) {
-	m, n := a.Rows, a.Cols
 	if err := checkOptions(opts); err != nil {
 		return nil, err
 	}
 	if err := spec.validate(); err != nil {
 		return nil, err
 	}
-	global := a.toLin()
-	var q, r *lin.Matrix
-	st, err := simmpi.RunWithOptions(spec.Procs(), simmpi.Options{Timeout: simTimeout(opts)}, func(p *simmpi.Proc) error {
-		g, err := grid.New(p.World(), spec.C, spec.D)
-		if err != nil {
-			return err
-		}
-		// Scatter from the grid's rank 0 across slice z=0, then
-		// replicate across depth: the faithful cluster loading path.
-		var rootGlobal *lin.Matrix
-		if g.Slice.Index() == 0 && g.Z == 0 {
-			rootGlobal = global
-		}
-		var ad *dist.Matrix
-		if g.Z == 0 {
-			ad, err = dist.Scatter(g.Slice, 0, rootGlobal, m, n, spec.D, spec.C)
-			if err != nil {
-				return err
-			}
-		}
-		var flat []float64
-		if g.Z == 0 {
-			flat = dist.Flatten(ad.Local)
-		}
-		flat, err = g.ZComm.Bcast(0, flat)
-		if err != nil {
-			return err
-		}
-		local, err := dist.Unflatten(m/spec.D, n/spec.C, flat)
-		if err != nil {
-			return err
-		}
-		ad = &dist.Matrix{M: m, N: n, PR: spec.D, PC: spec.C, Row: g.Y, Col: g.X, Local: local}
-		prm := core.Params{InverseDepth: opts.InverseDepth, BaseSize: opts.BaseSize, Workers: opts.Workers}
-		var qL, rL *lin.Matrix
-		if opts.PanelWidth > 0 {
-			qL, rL, err = core.PanelCACQR2(g, ad.Local, m, n, opts.PanelWidth, prm)
-		} else {
-			qL, rL, err = core.CACQR2(g, ad.Local, m, n, prm)
-		}
-		if err != nil {
-			return err
-		}
-		qG, err := dist.Gather(g.Slice, qL, m, n, spec.D, spec.C)
-		if err != nil {
-			return err
-		}
-		rG, err := dist.Gather(g.Cube.Slice, rL, n, n, spec.C, spec.C)
-		if err != nil {
-			return err
-		}
-		if p.Rank() == 0 {
-			q, r = qG, rG
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return &Result{
-		Q: fromLin(q),
-		R: fromLin(r),
-		Stats: CostStats{
-			Msgs: st.MaxMsgs, Words: st.MaxWords, Flops: st.MaxFlops, Time: st.Time,
-		},
-	}, nil
+	return runDistributed(wireJob{
+		Variant: variantGrid, M: a.Rows, N: a.Cols, C: spec.C, D: spec.D,
+		PanelWidth: opts.PanelWidth, InverseDepth: opts.InverseDepth,
+		BaseSize: opts.BaseSize, Workers: opts.Workers,
+	}, a.toLin(), opts)
 }
 
 // Factorize1D factors a tall matrix with 1D-CQR2 (Algorithm 7) on a
@@ -313,43 +260,18 @@ func FactorizeOnGrid(a *Dense, spec GridSpec, opts Options) (*Result, error) {
 // c = 1 execution path: the paper's tall-skinny regime, where
 // replication buys nothing and the whole Gram matrix fits one rank.
 func Factorize1D(a *Dense, procs int, opts Options) (*Result, error) {
-	m, n := a.Rows, a.Cols
 	if err := checkOptions(opts); err != nil {
 		return nil, err
 	}
 	if procs < 1 {
 		return nil, fmt.Errorf("cacqr: invalid processor count %d", procs)
 	}
-	if m%procs != 0 {
-		return nil, fmt.Errorf("cacqr: m=%d not divisible by P=%d", m, procs)
+	if a.Rows%procs != 0 {
+		return nil, fmt.Errorf("cacqr: m=%d not divisible by P=%d", a.Rows, procs)
 	}
-	global := a.toLin()
-	var q, r *lin.Matrix
-	st, err := simmpi.RunWithOptions(procs, simmpi.Options{Timeout: simTimeout(opts)}, func(p *simmpi.Proc) error {
-		local := global.View(p.Rank()*(m/procs), 0, m/procs, n).Clone()
-		qL, rL, err := core.OneDCQR2(p.World(), local, m, n, opts.Workers)
-		if err != nil {
-			return err
-		}
-		qG, err := allgatherQ(p, qL, m, n)
-		if err != nil {
-			return err
-		}
-		if p.Rank() == 0 {
-			q, r = qG, rL
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return &Result{
-		Q: fromLin(q),
-		R: fromLin(r),
-		Stats: CostStats{
-			Msgs: st.MaxMsgs, Words: st.MaxWords, Flops: st.MaxFlops, Time: st.Time,
-		},
-	}, nil
+	return runDistributed(wireJob{
+		Variant: variant1D, M: a.Rows, N: a.Cols, Procs: procs, Workers: opts.Workers,
+	}, a.toLin(), opts)
 }
 
 // FactorizeShifted1D factors a tall matrix with the distributed shifted
@@ -360,43 +282,18 @@ func Factorize1D(a *Dense, procs int, opts Options) (*Result, error) {
 // CholeskyQR2's ~ε^{-1/2} regime — at ~1.5× the flops, and is what the
 // condition-aware planner dispatches for ill-conditioned tall inputs.
 func FactorizeShifted1D(a *Dense, procs int, opts Options) (*Result, error) {
-	m, n := a.Rows, a.Cols
 	if err := checkOptions(opts); err != nil {
 		return nil, err
 	}
 	if procs < 1 {
 		return nil, fmt.Errorf("cacqr: invalid processor count %d", procs)
 	}
-	if m%procs != 0 {
-		return nil, fmt.Errorf("cacqr: m=%d not divisible by P=%d", m, procs)
+	if a.Rows%procs != 0 {
+		return nil, fmt.Errorf("cacqr: m=%d not divisible by P=%d", a.Rows, procs)
 	}
-	global := a.toLin()
-	var q, r *lin.Matrix
-	st, err := simmpi.RunWithOptions(procs, simmpi.Options{Timeout: simTimeout(opts)}, func(p *simmpi.Proc) error {
-		local := global.View(p.Rank()*(m/procs), 0, m/procs, n).Clone()
-		qL, rL, err := core.OneDShiftedCQR3(p.World(), local, m, n, opts.Workers)
-		if err != nil {
-			return err
-		}
-		qG, err := allgatherQ(p, qL, m, n)
-		if err != nil {
-			return err
-		}
-		if p.Rank() == 0 {
-			q, r = qG, rL
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return &Result{
-		Q: fromLin(q),
-		R: fromLin(r),
-		Stats: CostStats{
-			Msgs: st.MaxMsgs, Words: st.MaxWords, Flops: st.MaxFlops, Time: st.Time,
-		},
-	}, nil
+	return runDistributed(wireJob{
+		Variant: variantShifted1D, M: a.Rows, N: a.Cols, Procs: procs, Workers: opts.Workers,
+	}, a.toLin(), opts)
 }
 
 // FactorizeTSQR factors a tall-skinny matrix with the binary-tree TSQR
@@ -406,52 +303,22 @@ func FactorizeShifted1D(a *Dense, procs int, opts Options) (*Result, error) {
 // small factorizations. panelWidth > 0 selects the blocked variant,
 // which only needs m/procs ≥ panelWidth instead of m/procs ≥ n.
 func FactorizeTSQR(a *Dense, procs, panelWidth int, opts Options) (*Result, error) {
-	m, n := a.Rows, a.Cols
 	if err := checkOptions(opts); err != nil {
 		return nil, err
 	}
 	if procs < 1 {
 		return nil, fmt.Errorf("cacqr: invalid processor count %d", procs)
 	}
-	// Checked here, before the simulated grid spins up, like every
-	// sibling entry point: an invalid shape must fail fast, not after
-	// launching all P rank goroutines.
-	if m%procs != 0 {
-		return nil, fmt.Errorf("cacqr: m=%d not divisible by P=%d", m, procs)
+	// Checked here, before any ranks spin up, like every sibling entry
+	// point: an invalid shape must fail fast, not after launching all P
+	// ranks.
+	if a.Rows%procs != 0 {
+		return nil, fmt.Errorf("cacqr: m=%d not divisible by P=%d", a.Rows, procs)
 	}
-	global := a.toLin()
-	var q, r *lin.Matrix
-	st, err := simmpi.RunWithOptions(procs, simmpi.Options{Timeout: simTimeout(opts)}, func(p *simmpi.Proc) error {
-		local := global.View(p.Rank()*(m/procs), 0, m/procs, n).Clone()
-		var qL, rL *lin.Matrix
-		var err error
-		if panelWidth > 0 {
-			qL, rL, err = tsqr.BlockedFactor(p.World(), local, m, n, panelWidth, opts.Workers)
-		} else {
-			qL, rL, err = tsqr.Factor(p.World(), local, m, n, opts.Workers)
-		}
-		if err != nil {
-			return err
-		}
-		qG, err := allgatherQ(p, qL, m, n)
-		if err != nil {
-			return err
-		}
-		if p.Rank() == 0 {
-			q, r = qG, rL
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return &Result{
-		Q: fromLin(q),
-		R: fromLin(r),
-		Stats: CostStats{
-			Msgs: st.MaxMsgs, Words: st.MaxWords, Flops: st.MaxFlops, Time: st.Time,
-		},
-	}, nil
+	return runDistributed(wireJob{
+		Variant: variantTSQR, M: a.Rows, N: a.Cols, Procs: procs,
+		PanelWidth: panelWidth, Workers: opts.Workers,
+	}, a.toLin(), opts)
 }
 
 // FactorizePGEQRF factors an m×n matrix with the ScaLAPACK-style 2D
@@ -469,104 +336,19 @@ func FactorizeTSQR(a *Dense, procs, panelWidth int, opts Options) (*Result, erro
 // measured cost here exceeds the plan's prediction by that output
 // work.
 func FactorizePGEQRF(a *Dense, pr, pc, nb int, opts Options) (*Result, error) {
-	m, n := a.Rows, a.Cols
 	if err := checkOptions(opts); err != nil {
 		return nil, err
 	}
 	if pr < 1 || pc < 1 {
 		return nil, fmt.Errorf("cacqr: invalid process grid %dx%d", pr, pc)
 	}
-	if m < n {
-		return nil, fmt.Errorf("cacqr: PGEQRF requires m ≥ n, got %dx%d", m, n)
+	if a.Rows < a.Cols {
+		return nil, fmt.Errorf("cacqr: PGEQRF requires m ≥ n, got %dx%d", a.Rows, a.Cols)
 	}
-	global := a.toLin()
-	var q, r *lin.Matrix
-	st, err := simmpi.RunWithOptions(pr*pc, simmpi.Options{Timeout: simTimeout(opts)}, func(p *simmpi.Proc) error {
-		g, err := pgeqrf.NewGrid(p.World(), pr, pc)
-		if err != nil {
-			return err
-		}
-		am, err := pgeqrf.NewMatrix(g, global, nb)
-		if err != nil {
-			return err
-		}
-		f, err := pgeqrf.Factor(am)
-		if err != nil {
-			return err
-		}
-		rG, err := f.GatherR()
-		if err != nil {
-			return err
-		}
-		// Explicit Q = Q·[Iₙ; 0]: apply the reflectors to this rank's
-		// block of the identity's first n columns (rows are cyclic over
-		// the pr process rows; process columns compute redundantly).
-		mloc := am.Local.Rows
-		e := lin.NewMatrix(mloc, n)
-		for li := 0; li < mloc; li++ {
-			if gi := li*pr + g.Row; gi < n {
-				e.Set(li, gi, 1)
-			}
-		}
-		qL, err := f.ApplyQ(e)
-		if err != nil {
-			return err
-		}
-		// Assemble the global Q: process column 0 contributes its rows,
-		// everyone else zeros, and a world Allreduce replicates the sum
-		// (the same output-path pattern as GatherR).
-		contrib := lin.NewMatrix(m, n)
-		if g.Col == 0 {
-			for li := 0; li < mloc; li++ {
-				gi := li*pr + g.Row
-				for j := 0; j < n; j++ {
-					contrib.Set(gi, j, qL.At(li, j))
-				}
-			}
-		}
-		qFlat, err := g.World.Allreduce(dist.Flatten(contrib))
-		if err != nil {
-			return err
-		}
-		qG, err := dist.Unflatten(m, n, qFlat)
-		if err != nil {
-			return err
-		}
-		if p.Rank() == 0 {
-			lin.NormalizeSigns(qG, rG)
-			q, r = qG, rG
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return &Result{
-		Q: fromLin(q),
-		R: fromLin(r),
-		Stats: CostStats{
-			Msgs: st.MaxMsgs, Words: st.MaxWords, Flops: st.MaxFlops, Time: st.Time,
-		},
-	}, nil
-}
-
-// simTimeout resolves the Options.Timeout default for simulated runs.
-func simTimeout(opts Options) time.Duration {
-	if opts.Timeout == 0 {
-		return 10 * time.Minute
-	}
-	return opts.Timeout
-}
-
-// allgatherQ assembles the global m×n Q from each rank's row block over
-// the 1D world communicator — the shared gather tail of the 1D
-// execution paths (Factorize1D, FactorizeTSQR).
-func allgatherQ(p *simmpi.Proc, qL *lin.Matrix, m, n int) (*lin.Matrix, error) {
-	flat, err := p.World().Allgather(dist.Flatten(qL))
-	if err != nil {
-		return nil, err
-	}
-	return dist.Unflatten(m, n, flat)
+	return runDistributed(wireJob{
+		Variant: variantPGEQRF, M: a.Rows, N: a.Cols, PR: pr, PC: pc, NB: nb,
+		Workers: opts.Workers,
+	}, a.toLin(), opts)
 }
 
 // Machine re-exports the cost model's machine description.

@@ -8,11 +8,21 @@
 //	cacqrd [-addr :8377] [-procs 16] [-cache 128] [-rank-budget 256]
 //	       [-window 2ms] [-max-pending 1024] [-fuse-window 0]
 //	       [-mem 0] [-machine stampede2] [-workers 0]
+//	       [-transport sim] [-tcp-workers host:port,...]
+//	cacqrd worker [-listen :8378]
 //
 // -max-pending bounds admitted-but-unfinished requests: past it the
 // daemon sheds load with HTTP 503 instead of queueing without bound.
 // -fuse-window, when positive, coalesces concurrent same-key requests
 // into one fused batched execution (the streaming form of SubmitBatch).
+//
+// -transport selects where distributed ranks run: "sim" (default) uses
+// the simulated goroutine runtime with exact α-β-γ accounting;
+// "tcp" runs each plan's ranks across the real OS worker processes
+// named by -tcp-workers (comma-separated `cacqrd worker` listen
+// addresses — the daemon itself is rank 0, and a plan on P ranks uses
+// the first P−1 workers). The `worker` subcommand is that other side:
+// a process that serves ranks over TCP until terminated.
 //
 // Endpoints:
 //
@@ -37,9 +47,11 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -48,6 +60,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "worker" {
+		runWorker(os.Args[2:])
+		return
+	}
 	var (
 		addr       = flag.String("addr", ":8377", "listen address")
 		procs      = flag.Int("procs", 16, "default per-request planning budget (simulated ranks)")
@@ -60,10 +76,32 @@ func main() {
 		maxElems   = flag.Int64("max-elems", 1<<24, "largest accepted m·n per request (0 = unlimited; guards the daemon against OOM)")
 		machine    = flag.String("machine", "stampede2", `planning machine ("stampede2" or "bluewaters")`)
 		workers    = flag.Int("workers", 0, "per-rank kernel goroutines (0 = serial)")
+		transport  = flag.String("transport", "sim", `rank transport: "sim" (goroutine ranks) or "tcp" (real worker processes)`)
+		tcpWorkers = flag.String("tcp-workers", "", "comma-separated `cacqrd worker` addresses (tcp transport only)")
 	)
 	flag.Parse()
 
 	opts := cacqr.Options{MemBudget: *mem, Workers: *workers}
+	switch *transport {
+	case "sim":
+		if *tcpWorkers != "" {
+			log.Fatalf("-tcp-workers needs -transport tcp")
+		}
+	case "tcp":
+		addrs := strings.Split(*tcpWorkers, ",")
+		var clean []string
+		for _, a := range addrs {
+			if a = strings.TrimSpace(a); a != "" {
+				clean = append(clean, a)
+			}
+		}
+		if len(clean) == 0 {
+			log.Fatalf("-transport tcp needs -tcp-workers (comma-separated worker addresses)")
+		}
+		opts.Transport = cacqr.TCPTransport(clean...)
+	default:
+		log.Fatalf("unknown -transport %q", *transport)
+	}
 	switch *machine {
 	case "stampede2":
 		opts.PlanMachine = &cacqr.Stampede2
@@ -101,11 +139,34 @@ func main() {
 		srv.Close()
 		close(done)
 	}()
-	log.Printf("cacqrd: serving on %s (procs=%d machine=%s)", *addr, *procs, *machine)
+	log.Printf("cacqrd: serving on %s (procs=%d machine=%s transport=%s)", *addr, *procs, *machine, *transport)
 	if err := httpSrv.ListenAndServe(); err != http.ErrServerClosed {
 		log.Fatalf("cacqrd: %v", err)
 	}
 	<-done
+}
+
+// runWorker is the `cacqrd worker` subcommand: one OS process serving
+// factorization ranks over TCP until terminated.
+func runWorker(args []string) {
+	fs := flag.NewFlagSet("cacqrd worker", flag.ExitOnError)
+	listen := fs.String("listen", ":8378", "rank-serving listen address")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("cacqrd worker: %v", err)
+	}
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Printf("cacqrd worker: shutting down")
+		ln.Close()
+	}()
+	log.Printf("cacqrd worker: serving ranks on %s", ln.Addr())
+	if err := cacqr.ServeWorker(ln); err != nil {
+		log.Fatalf("cacqrd worker: %v", err)
+	}
 }
 
 // buildMux wires the daemon's endpoints onto a fresh mux — separated
@@ -148,6 +209,7 @@ type response struct {
 	Msgs         int64     `json:"msgs_per_proc"`
 	Words        int64     `json:"words_per_proc"`
 	Flops        int64     `json:"flops_per_proc"`
+	Bytes        int64     `json:"bytes_per_proc,omitempty"` // wire bytes (tcp transport only)
 	SimSeconds   float64   `json:"sim_seconds"`
 	WallSeconds  float64   `json:"wall_seconds"`
 	X            []float64 `json:"x,omitempty"`
@@ -187,7 +249,7 @@ func handle(srv *cacqr.Server, solve bool, maxElems int64) http.HandlerFunc {
 			sub.B = req.B
 		}
 		start := time.Now()
-		res, err := srv.Submit(sub)
+		res, err := srv.SubmitCtx(r.Context(), sub)
 		if err != nil {
 			code := http.StatusUnprocessableEntity
 			if errors.Is(err, cacqr.ErrOverloaded) {
@@ -206,6 +268,7 @@ func handle(srv *cacqr.Server, solve bool, maxElems int64) http.HandlerFunc {
 			Msgs:         res.Stats.Msgs,
 			Words:        res.Stats.Words,
 			Flops:        res.Stats.Flops,
+			Bytes:        res.Stats.Bytes,
 			SimSeconds:   res.Stats.Time,
 			WallSeconds:  time.Since(start).Seconds(),
 			X:            res.X,

@@ -5,7 +5,7 @@ import (
 
 	"cacqr/internal/dist"
 	"cacqr/internal/lin"
-	"cacqr/internal/simmpi"
+	"cacqr/internal/transport"
 )
 
 // OneDCQR is the existing parallel 1D CholeskyQR (Algorithm 6) over a 1D
@@ -21,7 +21,7 @@ import (
 // workers bounds the goroutines the rank's local level-3 kernels may
 // use (≤ 1 = serial, the right default for simulated grids). Results
 // are identical for any value.
-func OneDCQR(comm *simmpi.Comm, aLocal *lin.Matrix, m, n, workers int) (qLocal, r *lin.Matrix, err error) {
+func OneDCQR(comm transport.Comm, aLocal *lin.Matrix, m, n, workers int) (qLocal, r *lin.Matrix, err error) {
 	return oneDCholeskyQR(comm, aLocal, m, n, workers, false)
 }
 
@@ -34,7 +34,7 @@ func OneDCQR(comm *simmpi.Comm, aLocal *lin.Matrix, m, n, workers int) (qLocal, 
 // communication and only O(n) uncharged local work. Keeping one body
 // keeps the cost charging in one place, so the "measured γ == predicted
 // γ" contract can never diverge between the two variants.
-func oneDCholeskyQR(comm *simmpi.Comm, aLocal *lin.Matrix, m, n, workers int, shifted bool) (qLocal, r *lin.Matrix, err error) {
+func oneDCholeskyQR(comm transport.Comm, aLocal *lin.Matrix, m, n, workers int, shifted bool) (qLocal, r *lin.Matrix, err error) {
 	if workers < 1 {
 		workers = 1
 	}
@@ -100,7 +100,7 @@ func oneDCholeskyQR(comm *simmpi.Comm, aLocal *lin.Matrix, m, n, workers int, sh
 
 // OneDCQR2 is Algorithm 7: two OneDCQR passes and a local triangular
 // product R = R₂·R₁ ((1/3)n³ flops).
-func OneDCQR2(comm *simmpi.Comm, aLocal *lin.Matrix, m, n, workers int) (qLocal, r *lin.Matrix, err error) {
+func OneDCQR2(comm transport.Comm, aLocal *lin.Matrix, m, n, workers int) (qLocal, r *lin.Matrix, err error) {
 	q1, r1, err := OneDCQR(comm, aLocal, m, n, workers)
 	if err != nil {
 		return nil, nil, err
@@ -119,7 +119,7 @@ func OneDCQR2(comm *simmpi.Comm, aLocal *lin.Matrix, m, n, workers int) (qLocal,
 // foldR computes the replicated triangular product R = R₂·R₁ that
 // closes every multi-pass CholeskyQR variant, charging the (1/3)n³
 // flops the paper counts for it.
-func foldR(comm *simmpi.Comm, r2, r1 *lin.Matrix) (*lin.Matrix, error) {
+func foldR(comm transport.Comm, r2, r1 *lin.Matrix) (*lin.Matrix, error) {
 	r := r2.Clone()
 	lin.Trmm(lin.Right, lin.Upper, false, r1, r)
 	if err := comm.Proc().Compute(lin.TriInvFlops(r1.Rows)); err != nil { // (1/3)n³

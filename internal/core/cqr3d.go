@@ -5,7 +5,7 @@ import (
 
 	"cacqr/internal/grid"
 	"cacqr/internal/lin"
-	"cacqr/internal/simmpi"
+	"cacqr/internal/transport"
 )
 
 // ThreeDCQR2 is the paper's 3D-CQR2 (§III-A): CA-CQR2 specialized to the
@@ -16,7 +16,7 @@ import (
 // aLocal is this rank's m/e × n/e cyclic block (rows over y, columns
 // over x, replicated across depth z). Ranks outside the grid receive
 // nil results.
-func ThreeDCQR2(comm *simmpi.Comm, aLocal *lin.Matrix, m, n, e int, prm Params) (qLocal, rLocal *lin.Matrix, err error) {
+func ThreeDCQR2(comm transport.Comm, aLocal *lin.Matrix, m, n, e int, prm Params) (qLocal, rLocal *lin.Matrix, err error) {
 	g, err := grid.New(comm, e, e)
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: 3D grid: %w", err)

@@ -2,7 +2,7 @@ package core
 
 import (
 	"cacqr/internal/lin"
-	"cacqr/internal/simmpi"
+	"cacqr/internal/transport"
 )
 
 // OneDShiftedCQR is the shifted CholeskyQR pass (Fukaya et al., the
@@ -17,7 +17,7 @@ import (
 // essentially never fails; the resulting Q is far from orthogonal but
 // has condition number small enough (≈ √(‖A‖²/s) ≲ ε^{-1/2}) for
 // CholeskyQR2 to finish the job.
-func OneDShiftedCQR(comm *simmpi.Comm, aLocal *lin.Matrix, m, n, workers int) (qLocal, r *lin.Matrix, err error) {
+func OneDShiftedCQR(comm transport.Comm, aLocal *lin.Matrix, m, n, workers int) (qLocal, r *lin.Matrix, err error) {
 	return oneDCholeskyQR(comm, aLocal, m, n, workers, true)
 }
 
@@ -27,7 +27,7 @@ func OneDShiftedCQR(comm *simmpi.Comm, aLocal *lin.Matrix, m, n, workers int) (q
 // κ(A) far beyond plain (1D-)CQR2's ~ε^{-1/2} breakdown, at ~1.5× the
 // flops — the planner's condition-aware fallback for ill-conditioned
 // tall matrices.
-func OneDShiftedCQR3(comm *simmpi.Comm, aLocal *lin.Matrix, m, n, workers int) (qLocal, r *lin.Matrix, err error) {
+func OneDShiftedCQR3(comm transport.Comm, aLocal *lin.Matrix, m, n, workers int) (qLocal, r *lin.Matrix, err error) {
 	q1, r1, err := OneDShiftedCQR(comm, aLocal, m, n, workers)
 	if err != nil {
 		return nil, nil, err

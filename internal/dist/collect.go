@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"cacqr/internal/lin"
-	"cacqr/internal/simmpi"
+	"cacqr/internal/transport"
 )
 
 // tagScatter tags Scatter's point-to-point sends. It lives well below the
@@ -18,7 +18,7 @@ const tagScatter = -1100
 // only root reads global — other members pass nil. Root is charged one
 // α + (m/pr)·(n/pc)·β send per non-root member, the cost of a
 // straightforward MPI_Scatterv.
-func Scatter(comm *simmpi.Comm, root int, global *lin.Matrix, m, n, pr, pc int) (*Matrix, error) {
+func Scatter(comm transport.Comm, root int, global *lin.Matrix, m, n, pr, pc int) (*Matrix, error) {
 	if err := checkGrid(m, n, pr, pc); err != nil {
 		return nil, err
 	}
@@ -70,8 +70,8 @@ func Scatter(comm *simmpi.Comm, root int, global *lin.Matrix, m, n, pr, pc int) 
 // returns it on every member — an allgather, which is how the grid
 // algorithms' callers verify factors on every rank without a second
 // broadcast. local must be this rank's (m/pr) × (n/pc) block. The cost is
-// simmpi's Allgather of the full matrix: log₂P·α + m·n·δ(P)·β.
-func Gather(comm *simmpi.Comm, local *lin.Matrix, m, n, pr, pc int) (*lin.Matrix, error) {
+// the transport's Allgather of the full matrix: log₂P·α + m·n·δ(P)·β.
+func Gather(comm transport.Comm, local *lin.Matrix, m, n, pr, pc int) (*lin.Matrix, error) {
 	if err := checkGrid(m, n, pr, pc); err != nil {
 		return nil, err
 	}

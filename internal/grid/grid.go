@@ -3,7 +3,7 @@ package grid
 import (
 	"fmt"
 
-	"cacqr/internal/simmpi"
+	"cacqr/internal/transport"
 )
 
 // Grid is one rank's view of a c × d × c processor grid.
@@ -13,23 +13,23 @@ type Grid struct {
 
 	// World spans all C·D·C grid members (the communicator the grid was
 	// built over), ordered by linearized coordinates.
-	World *simmpi.Comm
+	World transport.Comm
 	// XComm is Π[:, y, z]: the C ranks varying x. Index = x.
-	XComm *simmpi.Comm
+	XComm transport.Comm
 	// YComm is Π[x, :, z]: the D ranks varying y. Index = y.
-	YComm *simmpi.Comm
+	YComm transport.Comm
 	// ZComm is Π[x, y, :]: the C ranks varying z (depth). Index = z.
-	ZComm *simmpi.Comm
+	ZComm transport.Comm
 	// Slice is Π[:, :, z]: the C·D ranks of this rank's 2D slice,
 	// ordered y-major (index = y·C + x).
-	Slice *simmpi.Comm
+	Slice transport.Comm
 	// YGroup is Π[x, c⌊y/c⌋ : c⌊y/c⌋+c−1, z]: the contiguous group of C
 	// ranks along y containing this rank (Algorithm 8 line 3).
 	// Index = y mod C.
-	YGroup *simmpi.Comm
+	YGroup transport.Comm
 	// YStride is Π[x, y mod c : c : d−1, z]: the D/C ranks along y whose
 	// y ≡ this rank's y (mod C) (Algorithm 8 line 4). Index = ⌊y/C⌋.
-	YStride *simmpi.Comm
+	YStride transport.Comm
 	// Cube is the c × c × c subcube containing this rank (Algorithm 8
 	// line 6), on which CFR3D and MM3D execute.
 	Cube *Cube
@@ -45,11 +45,11 @@ type Cube struct {
 	X, Y, Z int // coordinates within the cube
 
 	// Comm spans all E³ cube members, ordered x + E·(y + E·z).
-	Comm *simmpi.Comm
+	Comm transport.Comm
 	// XComm, YComm, ZComm vary one coordinate each (sizes E).
-	XComm, YComm, ZComm *simmpi.Comm
+	XComm, YComm, ZComm transport.Comm
 	// Slice is the cube's 2D slice Π[:, :, z] (E² ranks, index y·E + x).
-	Slice *simmpi.Comm
+	Slice transport.Comm
 }
 
 // New builds a c × d × c grid over the first c·d·c members of comm.
@@ -57,7 +57,7 @@ type Cube struct {
 // beyond c·d·c receive a nil grid (they still participate in communicator
 // construction bookkeeping, which is local). Requires c ≥ 1, d ≥ 1, and
 // c | d so the subcube partition of Algorithm 8 exists.
-func New(comm *simmpi.Comm, c, d int) (*Grid, error) {
+func New(comm transport.Comm, c, d int) (*Grid, error) {
 	if c < 1 || d < 1 {
 		return nil, fmt.Errorf("grid: invalid dimensions c=%d d=%d", c, d)
 	}
@@ -195,7 +195,7 @@ func New(comm *simmpi.Comm, c, d int) (*Grid, error) {
 // NewCube builds a standalone E × E × E cubic grid over the first E³
 // members of comm (the paper's 3D grid for 3D-CQR2; also used directly by
 // MM3D and CFR3D tests). Members beyond E³ receive nil.
-func NewCube(comm *simmpi.Comm, e int) (*Cube, error) {
+func NewCube(comm transport.Comm, e int) (*Cube, error) {
 	if e < 1 {
 		return nil, fmt.Errorf("grid: invalid cube edge %d", e)
 	}
@@ -212,7 +212,7 @@ func NewCube(comm *simmpi.Comm, e int) (*Cube, error) {
 // buildCube constructs cube communicators over the given parent indices
 // (length e³, ordered x + e·(y + e·z)). All parent ranks must call it;
 // non-members get nil.
-func buildCube(comm *simmpi.Comm, idx []int, e int) *Cube {
+func buildCube(comm transport.Comm, idx []int, e int) *Cube {
 	lin := func(x, y, z int) int { return idx[x+e*(y+e*z)] }
 
 	var cb Cube

@@ -19,10 +19,13 @@ import (
 )
 
 // Stats is the communication a distributed case charged, in the paper's
-// per-processor critical-path units. Zero for sequential cases.
+// per-processor critical-path units. Zero for sequential cases. Bytes,
+// when set, is measured wire traffic (TCP transport cases); otherwise
+// bytes_communicated is derived as 8·Words.
 type Stats struct {
 	Msgs  int64
 	Words int64
+	Bytes int64
 }
 
 // Case is one suite entry: a named workload, its model flop count per
@@ -105,6 +108,9 @@ func Measure(c Case, minTime time.Duration, maxIters int) (Result, error) {
 		MsgsPerOp:  stats.Msgs,
 		WordsPerOp: stats.Words,
 		BytesComm:  stats.Words * 8,
+	}
+	if stats.Bytes != 0 {
+		res.BytesComm = stats.Bytes
 	}
 	if ns > 0 {
 		res.GFlops = float64(c.Flops) / ns

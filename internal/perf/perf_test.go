@@ -50,10 +50,10 @@ func TestSuiteNamesUniqueAndRunnable(t *testing.T) {
 				t.Fatalf("duplicate case name %q (quick=%v)", c.Name, quick)
 			}
 			seen[c.Name] = true
-			// The planner-overhead and serve-plan cases are latency
-			// measurements with no flop model; every compute case must
-			// have one.
-			if c.Flops <= 0 && !strings.HasPrefix(c.Name, "plan") && !strings.HasPrefix(c.Name, "serve-plan") {
+			// The planner-overhead, serve-plan, and transport cases are
+			// latency measurements with no flop model; every compute case
+			// must have one.
+			if c.Flops <= 0 && !strings.HasPrefix(c.Name, "plan") && !strings.HasPrefix(c.Name, "serve-plan") && !strings.HasPrefix(c.Name, "transport-") {
 				t.Fatalf("case %q has no flop count", c.Name)
 			}
 		}

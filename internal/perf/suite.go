@@ -1,12 +1,18 @@
 package perf
 
 import (
+	"context"
+	"net"
 	"strconv"
+	"time"
 
 	"cacqr"
 	"cacqr/internal/lin"
 	"cacqr/internal/plan"
 	"cacqr/internal/serve"
+	"cacqr/internal/simmpi"
+	"cacqr/internal/transport"
+	"cacqr/internal/transport/tcpnet"
 )
 
 // Suite returns the fixed benchmark suite. Every case is deterministic
@@ -91,6 +97,33 @@ func Suite(quick bool, workers int) []Case {
 	if err != nil {
 		panic("perf: server options invalid by construction: " + err.Error())
 	}
+	// Transport fixtures: the same 4-rank Allreduce once on the simulated
+	// runtime and once across in-process TCP workers (loopback listeners
+	// that live for the process). The pair prices the real-transport
+	// overhead — framing, syscalls, goroutine handoff — against the
+	// simulation's zero-cost data movement at identical charged traffic.
+	arN, arP := 1<<16, 4
+	if quick {
+		arN = 1 << 14
+	}
+	arVec := make([]float64, arN)
+	for i := range arVec {
+		arVec[i] = float64(i%1024) / 1024
+	}
+	arBody := func(p transport.Proc) error {
+		_, err := p.World().Allreduce(arVec)
+		return err
+	}
+	arAddrs := make([]string, arP-1)
+	for i := range arAddrs {
+		ln, lerr := net.Listen("tcp", "127.0.0.1:0")
+		if lerr != nil {
+			panic("perf: transport fixture listen: " + lerr.Error())
+		}
+		arAddrs[i] = ln.Addr().String()
+		go tcpnet.Serve(ln, func(p transport.Proc, _ []byte) error { return arBody(p) })
+	}
+	arCoord := &tcpnet.Coordinator{Workers: arAddrs}
 
 	nameSz := func(base string, dims ...int) string {
 		s := base
@@ -243,7 +276,7 @@ func Suite(quick bool, workers int) []Case {
 			// serving layer's per-request planning amortization.
 			Name: nameSz("serve-plan-cached", plM, plN) + "-p" + itoa(plP),
 			Run: func() (Stats, error) {
-				_, _, err := planServer.Do(plan.Request{M: plM, N: plN, Procs: plP}, nil)
+				_, _, err := planServer.Do(context.Background(), plan.Request{M: plM, N: plN, Procs: plP}, nil)
 				return Stats{}, err
 			},
 		},
@@ -293,6 +326,34 @@ func Suite(quick bool, workers int) []Case {
 					}
 				}
 				return Stats{}, nil
+			},
+		},
+		{
+			// One 4-rank Allreduce on the simulated runtime: the charged
+			// traffic is model cost only, data never moves.
+			Name: nameSz("transport-sim-allreduce", arN) + "-p" + itoa(arP),
+			Run: func() (Stats, error) {
+				st, err := simmpi.Run(arP, func(p *simmpi.Proc) error { return arBody(p) })
+				if err != nil {
+					return Stats{}, err
+				}
+				return Stats{Msgs: st.MaxMsgs, Words: st.MaxWords}, nil
+			},
+		},
+		{
+			// The identical Allreduce across TCP workers: same charged
+			// traffic, but the vector really crosses sockets — this row
+			// versus transport-sim-allreduce is the per-collective price
+			// of the real transport.
+			Name: nameSz("transport-tcp-allreduce", arN) + "-p" + itoa(arP),
+			Run: func() (Stats, error) {
+				ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+				defer cancel()
+				st, err := arCoord.Run(ctx, func(int) []byte { return nil }, arBody)
+				if err != nil {
+					return Stats{}, err
+				}
+				return Stats{Msgs: st.MaxMsgs, Words: st.MaxWords, Bytes: st.MaxBytes}, nil
 			},
 		},
 	}

@@ -5,7 +5,7 @@ import (
 	"math"
 
 	"cacqr/internal/lin"
-	"cacqr/internal/simmpi"
+	"cacqr/internal/transport"
 )
 
 // Grid is a pr × pc process grid for the 2D algorithm. Ranks linearize
@@ -13,15 +13,15 @@ import (
 type Grid struct {
 	PR, PC   int
 	Row, Col int
-	World    *simmpi.Comm // all pr·pc members
-	ColComm  *simmpi.Comm // fixed pcol, varying prow (size pr); index = prow
-	RowComm  *simmpi.Comm // fixed prow, varying pcol (size pc); index = pcol
-	proc     *simmpi.Proc
+	World    transport.Comm // all pr·pc members
+	ColComm  transport.Comm // fixed pcol, varying prow (size pr); index = prow
+	RowComm  transport.Comm // fixed prow, varying pcol (size pc); index = pcol
+	proc     transport.Proc
 }
 
 // NewGrid builds the process grid over the first pr·pc members of comm;
 // members beyond that receive nil.
-func NewGrid(comm *simmpi.Comm, pr, pc int) (*Grid, error) {
+func NewGrid(comm transport.Comm, pr, pc int) (*Grid, error) {
 	if pr < 1 || pc < 1 {
 		return nil, fmt.Errorf("pgeqrf: invalid grid %dx%d", pr, pc)
 	}
@@ -76,29 +76,67 @@ type Matrix struct {
 // NewMatrix distributes an m×n global matrix (replicated input) over the
 // grid. Requires pr | m and nb | n.
 func NewMatrix(g *Grid, global *lin.Matrix, nb int) (*Matrix, error) {
+	loc, err := LocalBlock(global, g.Row+g.PR*g.Col, g.PR, g.PC, nb)
+	if err != nil {
+		return nil, err
+	}
+	return NewMatrixLocal(g, loc, global.Rows, global.Cols, nb)
+}
+
+// ownedPanels lists the global panel indices a process column owns under
+// the (MB=1, NB=nb) cyclic layout, ascending.
+func ownedPanels(n, nb, col, pc int) []int {
+	var panels []int
+	for k := col; k < n/nb; k += pc {
+		panels = append(panels, k)
+	}
+	return panels
+}
+
+// LocalBlock extracts rank's local block of the layout NewMatrix
+// distributes: rows ≡ rank%pr (mod pr), width-nb panels ≡ rank/pr
+// (mod pc), panel-contiguous. Pure data movement with no grid or
+// communicator, so a coordinator can stage per-rank inputs before a
+// distributed run.
+func LocalBlock(global *lin.Matrix, rank, pr, pc, nb int) (*lin.Matrix, error) {
 	m, n := global.Rows, global.Cols
+	if m%pr != 0 {
+		return nil, fmt.Errorf("pgeqrf: m=%d not divisible by pr=%d", m, pr)
+	}
+	if nb < 1 || n%nb != 0 {
+		return nil, fmt.Errorf("pgeqrf: block size %d does not divide n=%d", nb, n)
+	}
+	row, col := rank%pr, rank/pr
+	panels := ownedPanels(n, nb, col, pc)
+	mloc := m / pr
+	loc := lin.NewMatrix(mloc, len(panels)*nb)
+	for s, k := range panels {
+		for li := 0; li < mloc; li++ {
+			gi := li*pr + row
+			for jj := 0; jj < nb; jj++ {
+				loc.Set(li, s*nb+jj, global.At(gi, k*nb+jj))
+			}
+		}
+	}
+	return loc, nil
+}
+
+// NewMatrixLocal wraps an already-extracted local block (LocalBlock's
+// layout) for a rank of the grid — the entry point when the input
+// arrives pre-sharded rather than replicated.
+func NewMatrixLocal(g *Grid, local *lin.Matrix, m, n, nb int) (*Matrix, error) {
 	if m%g.PR != 0 {
 		return nil, fmt.Errorf("pgeqrf: m=%d not divisible by pr=%d", m, g.PR)
 	}
 	if nb < 1 || n%nb != 0 {
 		return nil, fmt.Errorf("pgeqrf: block size %d does not divide n=%d", nb, n)
 	}
-	np := n / nb
-	var panels []int
-	for k := g.Col; k < np; k += g.PC {
-		panels = append(panels, k)
+	panels := ownedPanels(n, nb, g.Col, g.PC)
+	if local.Rows != m/g.PR || local.Cols != len(panels)*nb {
+		return nil, fmt.Errorf("pgeqrf: local block is %dx%d, want %dx%d",
+			local.Rows, local.Cols, m/g.PR, len(panels)*nb)
 	}
-	mloc := m / g.PR
-	loc := lin.NewMatrix(mloc, len(panels)*nb)
-	for s, k := range panels {
-		for li := 0; li < mloc; li++ {
-			gi := li*g.PR + g.Row
-			for jj := 0; jj < nb; jj++ {
-				loc.Set(li, s*nb+jj, global.At(gi, k*nb+jj))
-			}
-		}
-	}
-	return &Matrix{G: g, M: m, N: n, NB: nb, Panels: panels, Local: loc}, nil
+	return &Matrix{G: g, M: m, N: n, NB: nb, Panels: panels, Local: local}, nil
 }
 
 // localSlot returns the local panel slot of global panel k, or -1.

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -25,7 +26,7 @@ func TestOverloadRefusesPromptlyWithoutDroppingWork(t *testing.T) {
 	for i := 0; i < maxPending; i++ {
 		started.Add(1)
 		go func() {
-			_, _, err := s.Do(req(256, 8, 4, 0), func(plan.Plan) error {
+			_, _, err := s.Do(context.Background(), req(256, 8, 4, 0), func(plan.Plan) error {
 				started.Done()
 				<-release
 				atomic.AddInt64(&execDone, 1)
@@ -38,7 +39,7 @@ func TestOverloadRefusesPromptlyWithoutDroppingWork(t *testing.T) {
 
 	// The next request must fail fast, not wait for capacity.
 	t0 := time.Now()
-	_, _, err := s.Do(req(256, 8, 4, 0), nil)
+	_, _, err := s.Do(context.Background(), req(256, 8, 4, 0), nil)
 	if !errors.Is(err, ErrOverloaded) {
 		t.Fatalf("saturated Do: err = %v, want ErrOverloaded", err)
 	}
@@ -51,7 +52,7 @@ func TestOverloadRefusesPromptlyWithoutDroppingWork(t *testing.T) {
 	}
 
 	// DoBatch respects the same bound in units.
-	if _, _, err := s.DoBatch(req(256, 8, 4, 0), 1, nil); !errors.Is(err, ErrOverloaded) {
+	if _, _, err := s.DoBatch(context.Background(), req(256, 8, 4, 0), 1, nil); !errors.Is(err, ErrOverloaded) {
 		t.Fatalf("saturated DoBatch: err = %v, want ErrOverloaded", err)
 	}
 
@@ -75,10 +76,10 @@ func TestOverloadRefusesPromptlyWithoutDroppingWork(t *testing.T) {
 func TestDoBatchLargerThanBoundIsRefused(t *testing.T) {
 	s := New(Config{BatchWindow: -1, MaxPending: 8})
 	defer s.Close()
-	if _, _, err := s.DoBatch(req(256, 8, 4, 0), 9, nil); !errors.Is(err, ErrOverloaded) {
+	if _, _, err := s.DoBatch(context.Background(), req(256, 8, 4, 0), 9, nil); !errors.Is(err, ErrOverloaded) {
 		t.Fatalf("oversized batch: err = %v, want ErrOverloaded", err)
 	}
-	if _, _, err := s.DoBatch(req(256, 8, 4, 0), 8, nil); err != nil {
+	if _, _, err := s.DoBatch(context.Background(), req(256, 8, 4, 0), 8, nil); err != nil {
 		t.Fatalf("exact-fit batch: %v", err)
 	}
 }
@@ -97,7 +98,7 @@ func TestDoBatchSharesOnePlanAndExec(t *testing.T) {
 	defer s.Close()
 
 	const n = 57
-	_, hit, err := s.DoBatch(req(512, 32, 8, 10), n, func(plan.Plan) error {
+	_, hit, err := s.DoBatch(context.Background(), req(512, 32, 8, 10), n, func(plan.Plan) error {
 		atomic.AddInt64(&execCalls, 1)
 		return nil
 	})
@@ -116,7 +117,7 @@ func TestDoBatchSharesOnePlanAndExec(t *testing.T) {
 		t.Fatalf("latency histogram for %q: %+v (ok=%v)", key, lat, ok)
 	}
 	// A second batch hits the cache.
-	if _, hit, err := s.DoBatch(req(512, 32, 8, 10), 3, nil); err != nil || !hit {
+	if _, hit, err := s.DoBatch(context.Background(), req(512, 32, 8, 10), 3, nil); err != nil || !hit {
 		t.Fatalf("warm batch: hit=%v err=%v", hit, err)
 	}
 	if planCalls != 1 {
@@ -127,7 +128,7 @@ func TestDoBatchSharesOnePlanAndExec(t *testing.T) {
 func TestDoBatchRejectsNonPositiveCount(t *testing.T) {
 	s := New(Config{BatchWindow: -1})
 	defer s.Close()
-	if _, _, err := s.DoBatch(req(256, 8, 4, 0), 0, nil); err == nil {
+	if _, _, err := s.DoBatch(context.Background(), req(256, 8, 4, 0), 0, nil); err == nil {
 		t.Fatal("DoBatch(0) must error")
 	}
 }
@@ -146,7 +147,7 @@ func TestDoFusedSharesOneExecution(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			_, _, errs[i] = s.DoFused(req(512, 32, 8, 10), i, func(_ plan.Plan, payloads []any) []error {
+			_, _, errs[i] = s.DoFused(context.Background(), req(512, 32, 8, 10), i, func(_ plan.Plan, payloads []any) []error {
 				atomic.AddInt64(&leads, 1)
 				out := make([]error, len(payloads))
 				for j, pl := range payloads {
@@ -183,7 +184,7 @@ func TestCloseDrainsPartialFuseWindow(t *testing.T) {
 	executed := make(chan int, 1)
 	done := make(chan error, 1)
 	go func() {
-		_, _, err := s.DoFused(req(256, 8, 4, 0), 0, func(_ plan.Plan, payloads []any) []error {
+		_, _, err := s.DoFused(context.Background(), req(256, 8, 4, 0), 0, func(_ plan.Plan, payloads []any) []error {
 			executed <- len(payloads)
 			return nil
 		})
@@ -224,7 +225,7 @@ func TestCloseDrainsPartialFuseWindow(t *testing.T) {
 		t.Fatal("Close did not return after drain")
 	}
 	// And post-close submissions are refused.
-	if _, _, err := s.DoFused(req(256, 8, 4, 0), 1, nil); !errors.Is(err, ErrClosed) {
+	if _, _, err := s.DoFused(context.Background(), req(256, 8, 4, 0), 1, nil); !errors.Is(err, ErrClosed) {
 		t.Fatalf("post-close DoFused: err = %v, want ErrClosed", err)
 	}
 }
@@ -246,11 +247,11 @@ func TestConcurrentBatchFuseStatsClose(t *testing.T) {
 				r := req(256+64*(g%3), 8, 4, 0)
 				switch i % 3 {
 				case 0:
-					s.Do(r, func(plan.Plan) error { return nil })
+					s.Do(context.Background(), r, func(plan.Plan) error { return nil })
 				case 1:
-					s.DoBatch(r, 3, func(plan.Plan) error { return nil })
+					s.DoBatch(context.Background(), r, 3, func(plan.Plan) error { return nil })
 				default:
-					s.DoFused(r, i, func(_ plan.Plan, payloads []any) []error {
+					s.DoFused(context.Background(), r, i, func(_ plan.Plan, payloads []any) []error {
 						return make([]error, len(payloads))
 					})
 				}

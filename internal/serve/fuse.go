@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -36,8 +37,14 @@ type fuseGroup struct {
 // lead receives the group's payloads in arrival order and returns
 // index-aligned per-payload errors (nil = all succeeded); each caller
 // gets its own entry. Close seals open windows immediately, so a
-// partially-filled group drains rather than waiting out its window.
-func (s *Server) DoFused(req plan.Request, payload any, lead func(p plan.Plan, payloads []any) []error) (plan.Plan, bool, error) {
+// partially-filled group drains rather than waiting out its window. A
+// joiner whose ctx cancels abandons its wait (the leader still executes
+// its payload; the result is discarded); a leader whose ctx cancels
+// before it holds the rank gate fails the whole group.
+func (s *Server) DoFused(ctx context.Context, req plan.Request, payload any, lead func(p plan.Plan, payloads []any) []error) (plan.Plan, bool, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if !s.adm.admit(1) {
 		return plan.Plan{}, false, ErrOverloaded
 	}
@@ -55,7 +62,11 @@ func (s *Server) DoFused(req plan.Request, payload any, lead func(p plan.Plan, p
 		idx := len(g.payloads)
 		g.payloads = append(g.payloads, payload)
 		s.mu.Unlock()
-		<-g.done
+		select {
+		case <-g.done:
+		case <-ctx.Done():
+			return plan.Plan{}, false, ctx.Err()
+		}
 		s.observe(key, time.Since(start), 1)
 		if g.err != nil {
 			return plan.Plan{}, false, g.err
@@ -68,7 +79,7 @@ func (s *Server) DoFused(req plan.Request, payload any, lead func(p plan.Plan, p
 	s.mu.Unlock()
 
 	if s.cfg.FuseWindow > 0 {
-		s.pause(s.cfg.FuseWindow)
+		s.pause(ctx, s.cfg.FuseWindow)
 	}
 
 	s.mu.Lock()
@@ -81,15 +92,19 @@ func (s *Server) DoFused(req plan.Request, payload any, lead func(p plan.Plan, p
 
 	// One plan resolution for the group (no second window — the fuse
 	// window already played that role), then one fused execution.
-	g.plan, g.hit, g.err = s.resolve(key, req, int64(n), false)
+	g.plan, g.hit, g.err = s.resolve(ctx, key, req, int64(n), false)
 	if g.err == nil {
-		held := s.gate.acquire(g.plan.Procs)
-		g.errs = lead(g.plan, g.payloads)
-		s.gate.release(held)
-		if g.errs == nil {
-			g.errs = make([]error, n)
-		} else if len(g.errs) != n {
-			g.err = fmt.Errorf("serve: fused lead returned %d results for %d payloads", len(g.errs), n)
+		held, gerr := s.gate.acquire(ctx, g.plan.Procs)
+		if gerr != nil {
+			g.err = gerr
+		} else {
+			g.errs = lead(g.plan, g.payloads)
+			s.gate.release(held)
+			if g.errs == nil {
+				g.errs = make([]error, n)
+			} else if len(g.errs) != n {
+				g.err = fmt.Errorf("serve: fused lead returned %d results for %d payloads", len(g.errs), n)
+			}
 		}
 	}
 	close(g.done)

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"sync"
 )
@@ -83,21 +84,37 @@ func newRankGate(budget int) *rankGate {
 }
 
 // acquire blocks until n tokens are available and takes them, returning
-// the count actually held (n clamped to the budget, floored at 1).
-func (g *rankGate) acquire(n int) int {
+// the count actually held (n clamped to the budget, floored at 1). A
+// canceled ctx abandons the wait with the context's error; no tokens are
+// held on error.
+func (g *rankGate) acquire(ctx context.Context, n int) (int, error) {
 	if n < 1 {
 		n = 1
 	}
 	if n > g.cap {
 		n = g.cap
 	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	// Wake the cond wait when the context fires; taking the lock before
+	// broadcasting pins waiters inside Wait so the wakeup cannot be lost.
+	stop := context.AfterFunc(ctx, func() {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		g.cond.Broadcast()
+	})
+	defer stop()
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	for g.avail < n {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		g.cond.Wait()
 	}
 	g.avail -= n
-	return n
+	return n, nil
 }
 
 // release returns tokens taken by acquire.

@@ -25,6 +25,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -195,8 +196,14 @@ func New(cfg Config) *Server {
 // and then runs exec(plan) under the global rank budget. It reports the
 // plan, whether it came from the cache or a shared lookup (hit), and
 // exec's error. Requests past the pending bound are refused with
-// ErrOverloaded. Safe for arbitrary concurrent use.
-func (s *Server) Do(req plan.Request, exec func(plan.Plan) error) (plan.Plan, bool, error) {
+// ErrOverloaded. ctx cancellation unblocks every wait on the way in —
+// batch-window joins and the rank gate — and is the executor's to honor
+// once exec starts (nil ctx = context.Background()). Safe for arbitrary
+// concurrent use.
+func (s *Server) Do(ctx context.Context, req plan.Request, exec func(plan.Plan) error) (plan.Plan, bool, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if !s.adm.admit(1) {
 		return plan.Plan{}, false, ErrOverloaded
 	}
@@ -208,12 +215,15 @@ func (s *Server) Do(req plan.Request, exec func(plan.Plan) error) (plan.Plan, bo
 	start := time.Now()
 
 	key := plan.KeyFor(req)
-	p, hit, err := s.resolve(key, req, 1, true)
+	p, hit, err := s.resolve(ctx, key, req, 1, true)
 	if err != nil {
 		return plan.Plan{}, false, err
 	}
 	if exec != nil {
-		held := s.gate.acquire(p.Procs)
+		held, gerr := s.gate.acquire(ctx, p.Procs)
+		if gerr != nil {
+			return plan.Plan{}, false, gerr
+		}
 		err = exec(p)
 		s.gate.release(held)
 	}
@@ -226,7 +236,10 @@ func (s *Server) Do(req plan.Request, exec func(plan.Plan) error) (plan.Plan, bo
 // batch-window wait — the batch is already assembled), one rank-gate
 // acquisition, one exec call, n latency observations. exec runs the
 // whole batch; per-item failures are the caller's to track.
-func (s *Server) DoBatch(req plan.Request, n int, exec func(plan.Plan) error) (plan.Plan, bool, error) {
+func (s *Server) DoBatch(ctx context.Context, req plan.Request, n int, exec func(plan.Plan) error) (plan.Plan, bool, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if n <= 0 {
 		return plan.Plan{}, false, fmt.Errorf("serve: DoBatch of %d requests", n)
 	}
@@ -241,12 +254,15 @@ func (s *Server) DoBatch(req plan.Request, n int, exec func(plan.Plan) error) (p
 	start := time.Now()
 
 	key := plan.KeyFor(req)
-	p, hit, err := s.resolve(key, req, int64(n), false)
+	p, hit, err := s.resolve(ctx, key, req, int64(n), false)
 	if err != nil {
 		return plan.Plan{}, false, err
 	}
 	if exec != nil {
-		held := s.gate.acquire(p.Procs)
+		held, gerr := s.gate.acquire(ctx, p.Procs)
+		if gerr != nil {
+			return plan.Plan{}, false, gerr
+		}
 		err = exec(p)
 		s.gate.release(held)
 	}
@@ -275,9 +291,11 @@ func (s *Server) enter(units int64) error {
 // resolve produces the plan for key — from cache, by riding an in-flight
 // same-key lookup (counted as units batched requests), or by leading a
 // fresh lookup at the κ-bucket's conservative edge. wait gates the
-// leader's batch-window sleep; joins and fused batches skip it. The
-// boolean reports whether the plan came from cache or a shared lookup.
-func (s *Server) resolve(key plan.CacheKey, req plan.Request, units int64, wait bool) (plan.Plan, bool, error) {
+// leader's batch-window sleep; joins and fused batches skip it. A
+// canceled ctx abandons a join wait (the in-flight lookup itself keeps
+// going for its other riders). The boolean reports whether the plan came
+// from cache or a shared lookup.
+func (s *Server) resolve(ctx context.Context, key plan.CacheKey, req plan.Request, units int64, wait bool) (plan.Plan, bool, error) {
 	s.mu.Lock()
 	if p, ok := s.cache.Get(key); ok {
 		s.mu.Unlock()
@@ -287,7 +305,11 @@ func (s *Server) resolve(key plan.CacheKey, req plan.Request, units int64, wait 
 		// Ride the in-flight lookup.
 		s.batched += units
 		s.mu.Unlock()
-		<-b.done
+		select {
+		case <-b.done:
+		case <-ctx.Done():
+			return plan.Plan{}, false, ctx.Err()
+		}
 		if b.err != nil {
 			return plan.Plan{}, false, b.err
 		}
@@ -300,7 +322,7 @@ func (s *Server) resolve(key plan.CacheKey, req plan.Request, units int64, wait 
 	s.planned++
 	s.mu.Unlock()
 	if wait && s.cfg.BatchWindow > 0 {
-		s.pause(s.cfg.BatchWindow)
+		s.pause(ctx, s.cfg.BatchWindow)
 	}
 	b.plan, b.err = s.cfg.Plan(plan.Bucketed(req))
 	if b.err == nil {
@@ -313,14 +335,16 @@ func (s *Server) resolve(key plan.CacheKey, req plan.Request, units int64, wait 
 	return b.plan, false, b.err
 }
 
-// pause sleeps for d or until Close, whichever comes first — batch and
-// fuse windows must not delay shutdown or hold back a draining window.
-func (s *Server) pause(d time.Duration) {
+// pause sleeps for d or until Close or ctx cancellation, whichever comes
+// first — batch and fuse windows must not delay shutdown, hold back a
+// draining window, or outlive their request.
+func (s *Server) pause(ctx context.Context, d time.Duration) {
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {
 	case <-t.C:
 	case <-s.closing:
+	case <-ctx.Done():
 	}
 }
 

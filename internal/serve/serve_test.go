@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -31,7 +32,7 @@ func TestCacheHitMissEviction(t *testing.T) {
 
 	// First pass: three distinct keys through a 2-entry cache — all miss.
 	for _, r := range shapes {
-		if _, hit, err := s.Do(r, nil); err != nil || hit {
+		if _, hit, err := s.Do(context.Background(), r, nil); err != nil || hit {
 			t.Fatalf("first submission of %dx%d: hit=%v err=%v", r.M, r.N, hit, err)
 		}
 	}
@@ -45,10 +46,10 @@ func TestCacheHitMissEviction(t *testing.T) {
 
 	// shapes[0] was evicted (least recently used): a re-submit misses and
 	// plans again; shapes[2] is resident and hits.
-	if _, hit, err := s.Do(shapes[0], nil); err != nil || hit {
+	if _, hit, err := s.Do(context.Background(), shapes[0], nil); err != nil || hit {
 		t.Fatalf("evicted key should miss: hit=%v err=%v", hit, err)
 	}
-	if _, hit, err := s.Do(shapes[2], nil); err != nil || !hit {
+	if _, hit, err := s.Do(context.Background(), shapes[2], nil); err != nil || !hit {
 		t.Fatalf("resident key should hit: hit=%v err=%v", hit, err)
 	}
 	st = s.Stats()
@@ -68,21 +69,21 @@ func TestGetPromotesRecency(t *testing.T) {
 	defer s.Close()
 	a, b, c := req(256, 8, 2, 0), req(512, 8, 2, 0), req(1024, 8, 2, 0)
 	for _, r := range []plan.Request{a, b} {
-		if _, _, err := s.Do(r, nil); err != nil {
+		if _, _, err := s.Do(context.Background(), r, nil); err != nil {
 			t.Fatal(err)
 		}
 	}
 	// Touch a so b becomes LRU, then insert c: b must be the eviction.
-	if _, hit, _ := s.Do(a, nil); !hit {
+	if _, hit, _ := s.Do(context.Background(), a, nil); !hit {
 		t.Fatal("a should be resident")
 	}
-	if _, _, err := s.Do(c, nil); err != nil {
+	if _, _, err := s.Do(context.Background(), c, nil); err != nil {
 		t.Fatal(err)
 	}
-	if _, hit, _ := s.Do(a, nil); !hit {
+	if _, hit, _ := s.Do(context.Background(), a, nil); !hit {
 		t.Fatal("a was evicted despite being most recently used")
 	}
-	if _, hit, _ := s.Do(b, nil); hit {
+	if _, hit, _ := s.Do(context.Background(), b, nil); hit {
 		t.Fatal("b survived eviction despite being least recently used")
 	}
 }
@@ -91,17 +92,17 @@ func TestKappaBucketsShareAndSplitCacheLines(t *testing.T) {
 	s := New(Config{BatchWindow: -1})
 	defer s.Close()
 	// Same decade → one plan line; different decade → another.
-	if _, hit, err := s.Do(req(4096, 64, 8, 2e9), nil); err != nil || hit {
+	if _, hit, err := s.Do(context.Background(), req(4096, 64, 8, 2e9), nil); err != nil || hit {
 		t.Fatalf("cold κ=2e9: hit=%v err=%v", hit, err)
 	}
-	if _, hit, err := s.Do(req(4096, 64, 8, 9e9), nil); err != nil || !hit {
+	if _, hit, err := s.Do(context.Background(), req(4096, 64, 8, 9e9), nil); err != nil || !hit {
 		t.Fatalf("κ=9e9 should share κ=2e9's bucket: hit=%v err=%v", hit, err)
 	}
-	if _, hit, err := s.Do(req(4096, 64, 8, 2e10), nil); err != nil || hit {
+	if _, hit, err := s.Do(context.Background(), req(4096, 64, 8, 2e10), nil); err != nil || hit {
 		t.Fatalf("κ=2e10 is a different bucket: hit=%v err=%v", hit, err)
 	}
 	// The cached ill-conditioned plan must not be the plain CQR2 family.
-	p, _, err := s.Do(req(4096, 64, 8, 5e9), nil)
+	p, _, err := s.Do(context.Background(), req(4096, 64, 8, 5e9), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +131,7 @@ func TestBatchingSharesOnePlanLookup(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			_, _, errs[i] = s.Do(req(2048, 16, 4, 0), nil)
+			_, _, errs[i] = s.Do(context.Background(), req(2048, 16, 4, 0), nil)
 		}(i)
 	}
 	time.Sleep(50 * time.Millisecond) // let everyone enqueue
@@ -158,11 +159,11 @@ func TestPlanErrorPropagatesToWholeBatch(t *testing.T) {
 		Plan:        func(plan.Request) (plan.Plan, error) { calls++; return plan.Plan{}, boom },
 	})
 	defer s.Close()
-	if _, _, err := s.Do(req(128, 8, 2, 0), nil); !errors.Is(err, boom) {
+	if _, _, err := s.Do(context.Background(), req(128, 8, 2, 0), nil); !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want boom", err)
 	}
 	// Failed lookups must not be cached: the next request plans again.
-	if _, _, err := s.Do(req(128, 8, 2, 0), nil); !errors.Is(err, boom) {
+	if _, _, err := s.Do(context.Background(), req(128, 8, 2, 0), nil); !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want boom", err)
 	}
 	if calls != 2 {
@@ -182,7 +183,7 @@ func TestRankBudgetBoundsConcurrentExecution(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			// 256×8 over ≤4 ranks: every plan holds ≥1 token, most hold 4.
-			_, _, err := s.Do(req(256, 8, 4, 0), func(p plan.Plan) error {
+			_, _, err := s.Do(context.Background(), req(256, 8, 4, 0), func(p plan.Plan) error {
 				cur := atomic.AddInt64(&inFlight, int64(p.Procs))
 				for {
 					old := atomic.LoadInt64(&peak)
@@ -214,7 +215,7 @@ func TestOversizedPlanStillRuns(t *testing.T) {
 	ran := false
 	// 1024×8 over ≤16 ranks can choose a plan wider than the budget of 2;
 	// the gate clamps instead of deadlocking.
-	_, _, err := s.Do(req(1024, 8, 16, 0), func(p plan.Plan) error { ran = true; return nil })
+	_, _, err := s.Do(context.Background(), req(1024, 8, 16, 0), func(p plan.Plan) error { ran = true; return nil })
 	if err != nil || !ran {
 		t.Fatalf("oversized plan: ran=%v err=%v", ran, err)
 	}
@@ -237,7 +238,7 @@ func TestConcurrentMixedShapeSubmission(t *testing.T) {
 			wg.Add(1)
 			go func(r plan.Request) {
 				defer wg.Done()
-				_, _, err := s.Do(r, func(plan.Plan) error {
+				_, _, err := s.Do(context.Background(), r, func(plan.Plan) error {
 					atomic.AddInt64(&execs, 1)
 					return nil
 				})
@@ -267,11 +268,11 @@ func TestExecErrorsDoNotPoisonCache(t *testing.T) {
 	s := New(Config{BatchWindow: -1})
 	defer s.Close()
 	boom := errors.New("exec failed")
-	if _, _, err := s.Do(req(256, 8, 2, 0), func(plan.Plan) error { return boom }); !errors.Is(err, boom) {
+	if _, _, err := s.Do(context.Background(), req(256, 8, 2, 0), func(plan.Plan) error { return boom }); !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want exec error", err)
 	}
 	// The plan itself was fine — the retry hits the cache.
-	if _, hit, err := s.Do(req(256, 8, 2, 0), nil); err != nil || !hit {
+	if _, hit, err := s.Do(context.Background(), req(256, 8, 2, 0), nil); err != nil || !hit {
 		t.Fatalf("retry: hit=%v err=%v", hit, err)
 	}
 }
@@ -282,7 +283,7 @@ func TestCloseRefusesAndDrains(t *testing.T) {
 	block := make(chan struct{})
 	done := make(chan error, 1)
 	go func() {
-		_, _, err := s.Do(req(256, 8, 2, 0), func(plan.Plan) error {
+		_, _, err := s.Do(context.Background(), req(256, 8, 2, 0), func(plan.Plan) error {
 			close(started)
 			<-block
 			return nil
@@ -302,7 +303,7 @@ func TestCloseRefusesAndDrains(t *testing.T) {
 	if err := <-done; err != nil {
 		t.Fatalf("in-flight request failed: %v", err)
 	}
-	if _, _, err := s.Do(req(256, 8, 2, 0), nil); !errors.Is(err, ErrClosed) {
+	if _, _, err := s.Do(context.Background(), req(256, 8, 2, 0), nil); !errors.Is(err, ErrClosed) {
 		t.Fatalf("post-Close err = %v, want ErrClosed", err)
 	}
 	s.Close() // idempotent

@@ -7,6 +7,8 @@ import (
 	"testing"
 	"testing/quick"
 	"time"
+
+	"cacqr/internal/transport"
 )
 
 // collectiveCost runs body on p ranks with α=1, β=1 and returns the
@@ -363,7 +365,7 @@ func TestSubgroupCommunicates(t *testing.T) {
 		w := pr.World()
 		evens := w.Subgroup([]int{0, 2, 4})
 		odds := w.Subgroup([]int{1, 3, 5})
-		var mine *Comm
+		var mine transport.Comm
 		if pr.Rank()%2 == 0 {
 			mine = evens
 			if odds != nil {

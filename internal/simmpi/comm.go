@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"cacqr/internal/transport"
 )
 
 // Comm is an ordered group of ranks, analogous to an MPI communicator.
@@ -56,13 +58,13 @@ func (c *Comm) Index() int { return c.index }
 func (c *Comm) GlobalRank(i int) int { return c.ranks[i] }
 
 // Proc returns the owning process handle.
-func (c *Comm) Proc() *Proc { return c.proc }
+func (c *Comm) Proc() transport.Proc { return c.proc }
 
 // Split partitions the communicator: members passing the same color form a
 // new communicator, ordered by key (ties broken by parent index). Like
 // MPI_Comm_split, it must be called by every member. Returns this rank's
 // handle on its new communicator.
-func (c *Comm) Split(color, key int) (*Comm, error) {
+func (c *Comm) Split(color, key int) (transport.Comm, error) {
 	// Exchange (color, key) among all members via an allgather so every
 	// rank can compute every group deterministically. This mirrors how
 	// MPI implementations realize split, and charges the proper cost.
@@ -108,7 +110,7 @@ func (c *Comm) Split(color, key int) (*Comm, error) {
 // performs no communication: the list is already globally known, which is
 // how the CA-CQR2 grid builds its row/column/depth/subcube communicators
 // from arithmetic on coordinates.
-func (c *Comm) Subgroup(indices []int) *Comm {
+func (c *Comm) Subgroup(indices []int) transport.Comm {
 	seq := c.nsplits
 	c.nsplits++
 	key := fmt.Sprintf("%d/%d/g%v", c.id, seq, indices)

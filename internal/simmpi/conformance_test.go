@@ -1,0 +1,20 @@
+package simmpi_test
+
+import (
+	"testing"
+	"time"
+
+	"cacqr/internal/simmpi"
+	"cacqr/internal/transport"
+	"cacqr/internal/transport/conformancetest"
+)
+
+// TestTransportConformance runs the backend-independent transport
+// contract against the simulated runtime.
+func TestTransportConformance(t *testing.T) {
+	conformancetest.Run(t, func(np int, timeout time.Duration, body func(p transport.Proc) error) (*transport.Stats, error) {
+		return simmpi.RunWithOptions(np, simmpi.Options{Timeout: timeout}, func(p *simmpi.Proc) error {
+			return body(p)
+		})
+	})
+}

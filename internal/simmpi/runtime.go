@@ -6,6 +6,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"cacqr/internal/transport"
 )
 
 // CostParams are the α-β-γ machine parameters used by the virtual clock.
@@ -29,6 +31,11 @@ type Options struct {
 	// Timeout aborts the run if wall-clock time exceeds it (guards tests
 	// against deadlock). Zero means no watchdog.
 	Timeout time.Duration
+	// Cancel, when non-nil, aborts the run as soon as the channel is
+	// closed — how a context cancellation (an HTTP client disconnect, a
+	// deadline) reaches into an in-flight simulated run. The run
+	// returns ErrCanceled.
+	Cancel <-chan struct{}
 	// FailRank, when FailEnabled, makes rank FailRank return an injected
 	// error the first time it calls Compute, exercising abort paths.
 	FailEnabled bool
@@ -42,36 +49,22 @@ var ErrAborted = errors.New("simmpi: run aborted")
 // ErrTimeout is returned when the watchdog fires before all ranks finish.
 var ErrTimeout = errors.New("simmpi: watchdog timeout (likely deadlock)")
 
+// ErrCanceled is returned when Options.Cancel fires before all ranks
+// finish.
+var ErrCanceled = errors.New("simmpi: run canceled")
+
 // ErrInjectedFailure is the error produced by Options.FailEnabled.
 var ErrInjectedFailure = errors.New("simmpi: injected rank failure")
 
-// Stats summarizes a completed run.
-type Stats struct {
-	// Time is the critical-path virtual time: the maximum rank clock.
-	Time float64
-	// MaxMsgs, MaxWords, MaxFlops are per-rank maxima — the per-processor
-	// α, β and γ cost measures used throughout the paper.
-	MaxMsgs  int64
-	MaxWords int64
-	MaxFlops int64
-	// TotalMsgs, TotalWords, TotalFlops aggregate over all ranks.
-	TotalMsgs  int64
-	TotalWords int64
-	TotalFlops int64
-	// PerRank holds the final counters of every rank.
-	PerRank []Counters
-	// Phases holds per-phase per-rank maxima for charges made under
-	// Proc.SetPhase labels (empty when no phases were set).
-	Phases map[string]Counters
-}
+// Stats summarizes a completed run. It is the backend-independent
+// transport.Stats: for the simulated runtime, Time is virtual seconds
+// and Msgs/Words/Flops are exact α-β-γ cost units (Bytes stays 0 — no
+// real bytes move between goroutine ranks).
+type Stats = transport.Stats
 
-// Counters are one rank's accumulated cost measures.
-type Counters struct {
-	Msgs  int64
-	Words int64
-	Flops int64
-	Time  float64
-}
+// Counters are one rank's accumulated cost measures (the
+// backend-independent transport.Counters).
+type Counters = transport.Counters
 
 // message is an in-flight point-to-point payload.
 type message struct {
@@ -166,7 +159,7 @@ func (p *Proc) Rank() int { return p.rank }
 func (p *Proc) Size() int { return p.rt.p }
 
 // World returns the communicator containing every rank.
-func (p *Proc) World() *Comm { return p.world }
+func (p *Proc) World() transport.Comm { return p.world }
 
 // Clock returns the rank's current virtual time in seconds.
 func (p *Proc) Clock() float64 { return p.clock }
@@ -276,14 +269,19 @@ func RunWithOptions(np int, opts Options, body func(*Proc) error) (*Stats, error
 		wg.Wait()
 		close(done)
 	}()
+	var watchdog <-chan time.Time
 	if opts.Timeout > 0 {
-		select {
-		case <-done:
-		case <-time.After(opts.Timeout):
-			r.abort(ErrTimeout)
-			<-done
-		}
-	} else {
+		t := time.NewTimer(opts.Timeout)
+		defer t.Stop()
+		watchdog = t.C
+	}
+	select {
+	case <-done:
+	case <-watchdog:
+		r.abort(ErrTimeout)
+		<-done
+	case <-opts.Cancel:
+		r.abort(ErrCanceled)
 		<-done
 	}
 

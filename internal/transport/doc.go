@@ -1,0 +1,26 @@
+// Package transport defines the pluggable communication API every
+// distributed algorithm in this repository is written against: a Comm
+// interface of MPI-flavored point-to-point and collective operations
+// plus a Proc handle for rank identity and cost accounting.
+//
+// Two backends implement it:
+//
+//   - internal/simmpi: the in-process simulated runtime. P ranks are
+//     goroutines in one process; communication charges the paper's
+//     exact α-β-γ butterfly-schedule formulas on a virtual clock, so a
+//     run doubles as a cost measurement. This is the default backend
+//     and the one the validated cost model is tested against.
+//   - internal/transport/tcpnet: the real inter-process backend.
+//     P ranks are OS processes connected by a full mesh of TCP
+//     connections (a coordinator that assigns ranks plus cacqrd
+//     worker processes); counters report actual messages and bytes
+//     moved, and every blocking operation honors a job deadline.
+//
+// The interface is deliberately small — Send/Recv/SendRecv, the
+// collectives of the paper's §II-B (Barrier, Bcast, Reduce, Allreduce,
+// Allgather, Transpose), communicator construction (Split, Subgroup),
+// and cost accounting (Compute, ChargeComm, Counters) — exactly what
+// CQR2/ShiftedCQR3, TSQR, PGEQRF, MM3D and CFR3D consume. The
+// conformance suite in internal/transport/conformancetest pins the
+// semantics both backends must share.
+package transport

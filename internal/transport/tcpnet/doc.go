@@ -1,0 +1,50 @@
+// Package tcpnet is the real inter-process transport backend: P ranks
+// are OS processes connected by a full mesh of TCP connections, all
+// implementing the same transport.Comm/Proc interface the simulated
+// runtime (internal/simmpi) implements — which is what lets one body of
+// distributed algorithm code run unchanged on either.
+//
+// # Topology and bootstrap
+//
+// A run has one coordinator (rank 0 — the process that holds the input
+// and wants the answer, e.g. the cacqrd daemon) and NP−1 workers
+// (cacqrd worker processes), each listening on one TCP address. Per
+// job:
+//
+//  1. The coordinator dials every worker's listen address and sends a
+//     control header: job id, that worker's rank, the full rank→address
+//     table, the job deadline, and an opaque payload (the root package
+//     puts the serialized job spec and the rank's input block there).
+//  2. Every participant then completes the mesh under the rendezvous
+//     rule "rank i dials every rank j < i, and accepts from every
+//     j > i", identifying itself with a hello frame (job id + rank).
+//     A worker's single listener serves both roles — control
+//     connections and mesh connections carry a one-byte preamble — and
+//     mesh connections that arrive before their job's control header
+//     are parked in a rendezvous registry until the job claims them.
+//  3. Each participant runs the job body against its tcpnet Proc; the
+//     workers report their final cost counters (and any error) back on
+//     the control connection, and the coordinator folds them into the
+//     run's transport.Stats.
+//
+// # Wire format
+//
+// Every message is length-delimited. Mesh data frames carry
+// (communicator id, source rank, tag, element count) followed by the
+// float64 payload, so receivers demultiplex into a mailbox exactly the
+// way simmpi's simulated mailboxes match messages — same tag-matching,
+// same FIFO-per-(comm,src,tag) ordering. Communicator ids for Split and
+// Subgroup are derived deterministically from the parent id and call
+// sequence on every member with no extra communication.
+//
+// # Deadlines and accounting
+//
+// The job deadline bounds every blocking operation: dials, control
+// reads, mesh sends (should a peer stop draining) and mailbox waits.
+// A dead peer or an expired deadline fails the node, and every pending
+// and subsequent operation on it returns the failure. Counters report
+// actual traffic: messages and 8-byte words through each rank's Comm,
+// plus raw bytes on the wire (framing included) — the same
+// cost-accounting fields the simulated backend reports, measured
+// instead of modeled.
+package tcpnet

@@ -1,0 +1,317 @@
+package tcpnet
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cacqr/internal/transport"
+)
+
+// ErrDeadline is returned by blocking operations once the job deadline
+// has passed.
+var ErrDeadline = errors.New("tcpnet: job deadline exceeded")
+
+// meshMsg is one received data-plane message awaiting a matching Recv.
+type meshMsg struct {
+	commID uint64
+	src    int // global rank of sender
+	tag    int
+	data   []float64
+}
+
+// node is one rank's end of the full mesh: the per-peer connections,
+// the mailbox incoming frames demultiplex into, and the wire-byte
+// counter. It is shared by the rank goroutine, the per-peer reader and
+// writer goroutines, and whoever triggers failure (control-connection
+// monitor, context watcher).
+type node struct {
+	rank     int
+	np       int
+	deadline time.Time // zero = none
+
+	peers []*peerConn // indexed by rank; nil at self
+
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []meshMsg
+	err   error // first failure; once set every operation returns it
+
+	bytes    atomic.Int64 // raw bytes sent + received on mesh conns
+	failOnce sync.Once
+	writers  sync.WaitGroup
+}
+
+// peerConn is one mesh connection with an asynchronous writer, giving
+// Send the buffered (enqueue-and-return) semantics the Comm contract
+// requires even over a synchronous byte stream.
+type peerConn struct {
+	conn   net.Conn
+	out    chan []byte
+	failed atomic.Bool
+}
+
+// outboundDepth is the per-peer queue of encoded frames awaiting the
+// writer. Enqueueing blocks when it is full — natural backpressure —
+// and the writer's deadline guarantees the block is bounded.
+const outboundDepth = 256
+
+func newNode(rank, np int, deadline time.Time) *node {
+	n := &node{rank: rank, np: np, deadline: deadline, peers: make([]*peerConn, np)}
+	n.cond = sync.NewCond(&n.mu)
+	return n
+}
+
+// attach records a mesh connection to peer rank r. The reader and
+// writer goroutines start in start(), once the whole mesh is wired —
+// fail() may run concurrently with bootstrap (a peer dies while we are
+// still dialing the rest), so peers mutate only under the mailbox lock.
+func (n *node) attach(r int, conn net.Conn) {
+	pc := &peerConn{conn: conn, out: make(chan []byte, outboundDepth)}
+	n.mu.Lock()
+	failed := n.err != nil
+	n.peers[r] = pc
+	n.mu.Unlock()
+	if failed {
+		pc.failed.Store(true)
+		conn.Close()
+	}
+}
+
+// start launches the reader and writer goroutines of every attached
+// peer.
+func (n *node) start() {
+	n.mu.Lock()
+	peers := append([]*peerConn(nil), n.peers...)
+	n.mu.Unlock()
+	for _, pc := range peers {
+		if pc == nil {
+			continue
+		}
+		n.writers.Add(1)
+		go n.writeLoop(pc)
+		go n.readLoop(pc)
+	}
+}
+
+func (n *node) writeLoop(pc *peerConn) {
+	defer n.writers.Done()
+	for frame := range pc.out {
+		if pc.failed.Load() {
+			continue // drain so enqueuers never block on a dead peer
+		}
+		if !n.deadline.IsZero() {
+			pc.conn.SetWriteDeadline(n.deadline)
+		}
+		wrote, err := pc.conn.Write(frame)
+		n.bytes.Add(int64(wrote))
+		if err != nil {
+			pc.failed.Store(true)
+			n.fail(fmt.Errorf("tcpnet: write to peer: %w", err))
+		}
+	}
+}
+
+func (n *node) readLoop(pc *peerConn) {
+	for {
+		msg, wire, err := readMeshFrame(pc.conn)
+		if err != nil {
+			// EOF (and its local mirror, reading a conn we closed
+			// ourselves) means the peer finished and shut down its
+			// mesh — benign, everything it sent was delivered first.
+			// Anything else is a failed peer.
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				n.fail(fmt.Errorf("tcpnet: read from peer: %w", err))
+			}
+			return
+		}
+		n.bytes.Add(wire)
+		n.post(msg)
+	}
+}
+
+// post delivers a message to the mailbox.
+func (n *node) post(msg meshMsg) {
+	n.mu.Lock()
+	n.queue = append(n.queue, msg)
+	n.cond.Broadcast()
+	n.mu.Unlock()
+}
+
+// fail marks the node failed with err: all pending and future
+// operations return it, and the mesh connections are closed to unblock
+// in-flight reads and writes.
+func (n *node) fail(err error) {
+	n.failOnce.Do(func() {
+		n.mu.Lock()
+		n.err = err
+		n.cond.Broadcast()
+		peers := append([]*peerConn(nil), n.peers...)
+		n.mu.Unlock()
+		for _, pc := range peers {
+			if pc != nil {
+				pc.failed.Store(true)
+				pc.conn.Close()
+			}
+		}
+	})
+}
+
+// errNow reports the node failure, if any.
+func (n *node) errNow() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.err
+}
+
+// shutdown flushes every queued outbound frame, then closes the mesh
+// connections. Called after the rank body returns: its final sends may
+// still be queued, and peers mid-collective are waiting on them.
+func (n *node) shutdown() {
+	for _, pc := range n.peers {
+		if pc != nil {
+			close(pc.out)
+		}
+	}
+	n.writers.Wait()
+	for _, pc := range n.peers {
+		if pc != nil {
+			pc.conn.Close()
+		}
+	}
+}
+
+// send enqueues one message for global rank dst (buffered semantics; a
+// send to self posts straight to the mailbox).
+func (n *node) send(commID uint64, dst, tag int, data []float64) error {
+	if err := n.errNow(); err != nil {
+		return err
+	}
+	if dst == n.rank {
+		payload := make([]float64, len(data))
+		copy(payload, data)
+		n.post(meshMsg{commID: commID, src: n.rank, tag: tag, data: payload})
+		return nil
+	}
+	n.peers[dst].out <- encodeMeshFrame(commID, n.rank, tag, data)
+	return nil
+}
+
+// recvMatch blocks until a message with the given communicator, global
+// source rank and tag is available, honoring the job deadline.
+func (n *node) recvMatch(commID uint64, src, tag int) ([]float64, error) {
+	var timedOut atomic.Bool
+	if !n.deadline.IsZero() {
+		d := time.Until(n.deadline)
+		if d <= 0 {
+			return nil, ErrDeadline
+		}
+		t := time.AfterFunc(d, func() {
+			timedOut.Store(true)
+			n.cond.Broadcast()
+		})
+		defer t.Stop()
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for {
+		if n.err != nil {
+			return nil, n.err
+		}
+		for i, m := range n.queue {
+			if m.commID == commID && m.src == src && m.tag == tag {
+				n.queue = append(n.queue[:i], n.queue[i+1:]...)
+				return m.data, nil
+			}
+		}
+		if timedOut.Load() {
+			return nil, ErrDeadline
+		}
+		n.cond.Wait()
+	}
+}
+
+// proc is the rank's transport.Proc. Msgs/Words/Flops are what the
+// algorithm charged through the Comm (actual traffic for point-to-point
+// and collective data movement), Bytes is measured wire traffic, Time
+// is wall-clock seconds since the node came up.
+type proc struct {
+	n     *node
+	world *comm
+	start time.Time
+
+	msgs, words, flops int64
+	phase              string
+	phases             map[string]transport.Counters
+}
+
+func newProc(n *node) *proc {
+	p := &proc{n: n, start: time.Now()}
+	ranks := make([]int, n.np)
+	for i := range ranks {
+		ranks[i] = i
+	}
+	p.world = &comm{p: p, id: worldCommID, ranks: ranks, index: n.rank}
+	return p
+}
+
+func (p *proc) Rank() int             { return p.n.rank }
+func (p *proc) Size() int             { return p.n.np }
+func (p *proc) World() transport.Comm { return p.world }
+
+// Compute counts local flops. It also surfaces node failure, so
+// compute-bound loops notice a dead peer or a cancellation promptly.
+func (p *proc) Compute(flops int64) error {
+	if flops < 0 {
+		panic("tcpnet: negative flop count")
+	}
+	if err := p.n.errNow(); err != nil {
+		return err
+	}
+	p.flops += flops
+	p.chargePhase(0, 0, flops)
+	return nil
+}
+
+func (p *proc) ChargeComm(alphaUnits, words int64) {
+	if alphaUnits < 0 || words < 0 {
+		panic("tcpnet: negative communication charge")
+	}
+	p.msgs += alphaUnits
+	p.words += words
+	p.chargePhase(alphaUnits, words, 0)
+}
+
+func (p *proc) SetPhase(label string) (prev string) {
+	prev = p.phase
+	p.phase = label
+	return prev
+}
+
+func (p *proc) chargePhase(msgs, words, flops int64) {
+	if p.phase == "" {
+		return
+	}
+	if p.phases == nil {
+		p.phases = make(map[string]transport.Counters)
+	}
+	c := p.phases[p.phase]
+	c.Msgs += msgs
+	c.Words += words
+	c.Flops += flops
+	p.phases[p.phase] = c
+}
+
+func (p *proc) Counters() transport.Counters {
+	return transport.Counters{
+		Msgs:  p.msgs,
+		Words: p.words,
+		Flops: p.flops,
+		Bytes: p.n.bytes.Load(),
+		Time:  time.Since(p.start).Seconds(),
+	}
+}

@@ -1,0 +1,137 @@
+package tcpnet
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"cacqr/internal/transport"
+)
+
+// Connection preamble bytes: the first byte on every connection says
+// what the stream carries.
+const (
+	preambleCtrl byte = 'C' // coordinator → worker job submission
+	preambleMesh byte = 'M' // rank ↔ rank data-plane connection
+	preamblePing byte = 'P' // liveness probe; the peer answers pingAck
+)
+
+const pingAck byte = 'O'
+
+// jobHeader is the control message a coordinator sends to each worker
+// to start a job.
+type jobHeader struct {
+	JobID string `json:"job_id"`
+	NP    int    `json:"np"`
+	Rank  int    `json:"rank"`
+	// Addrs maps rank → dial address; Addrs[0] is the coordinator's
+	// mesh listener.
+	Addrs []string `json:"addrs"`
+	// Deadline is the job deadline in Unix nanoseconds; 0 means none.
+	Deadline int64 `json:"deadline,omitempty"`
+	// Payload is opaque to the transport; the application puts the
+	// job spec and this rank's input data there.
+	Payload []byte `json:"payload,omitempty"`
+}
+
+// jobResult is the worker's reply on the control connection once its
+// rank body has finished.
+type jobResult struct {
+	Err      string                        `json:"err,omitempty"`
+	Counters transport.Counters            `json:"counters"`
+	Phases   map[string]transport.Counters `json:"phases,omitempty"`
+}
+
+// meshHello identifies a data-plane connection: which job it belongs to
+// and which rank dialed.
+type meshHello struct {
+	JobID string `json:"job_id"`
+	Rank  int    `json:"rank"`
+}
+
+// maxJSONFrame bounds control-plane messages (the payload carries a
+// rank's input block, so allow large frames).
+const maxJSONFrame = 1 << 30
+
+// writeJSONFrame writes a length-prefixed JSON message.
+func writeJSONFrame(w io.Writer, v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("tcpnet: encode: %w", err)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// readJSONFrame reads a length-prefixed JSON message into v.
+func readJSONFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxJSONFrame {
+		return fmt.Errorf("tcpnet: frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return err
+	}
+	return json.Unmarshal(body, v)
+}
+
+// Mesh data frames: a fixed header followed by count float64s.
+//
+//	[8B commID][4B src][4B tag][4B count][count × 8B float64]
+//
+// tag is encoded as int32 two's complement (internal collective tags
+// are negative).
+const meshFrameHeader = 8 + 4 + 4 + 4
+
+// maxMeshElems bounds a single data frame (2 GiB of float64s).
+const maxMeshElems = 1 << 28
+
+// encodeMeshFrame serializes one data-plane message into a fresh buffer.
+func encodeMeshFrame(commID uint64, src, tag int, data []float64) []byte {
+	buf := make([]byte, meshFrameHeader+8*len(data))
+	binary.BigEndian.PutUint64(buf[0:], commID)
+	binary.BigEndian.PutUint32(buf[8:], uint32(int32(src)))
+	binary.BigEndian.PutUint32(buf[12:], uint32(int32(tag)))
+	binary.BigEndian.PutUint32(buf[16:], uint32(len(data)))
+	for i, v := range data {
+		binary.BigEndian.PutUint64(buf[meshFrameHeader+8*i:], math.Float64bits(v))
+	}
+	return buf
+}
+
+// readMeshFrame reads one data-plane message, returning the decoded
+// fields and the total bytes consumed from the wire.
+func readMeshFrame(r io.Reader) (msg meshMsg, wireBytes int64, err error) {
+	var hdr [meshFrameHeader]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return msg, 0, err
+	}
+	msg.commID = binary.BigEndian.Uint64(hdr[0:])
+	msg.src = int(int32(binary.BigEndian.Uint32(hdr[8:])))
+	msg.tag = int(int32(binary.BigEndian.Uint32(hdr[12:])))
+	count := binary.BigEndian.Uint32(hdr[16:])
+	if count > maxMeshElems {
+		return msg, 0, fmt.Errorf("tcpnet: data frame of %d elements exceeds limit", count)
+	}
+	body := make([]byte, 8*count)
+	if _, err = io.ReadFull(r, body); err != nil {
+		return msg, 0, fmt.Errorf("tcpnet: truncated data frame: %w", err)
+	}
+	msg.data = make([]float64, count)
+	for i := range msg.data {
+		msg.data[i] = math.Float64frombits(binary.BigEndian.Uint64(body[8*i:]))
+	}
+	return msg, int64(meshFrameHeader + 8*int(count)), nil
+}

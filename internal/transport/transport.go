@@ -1,0 +1,146 @@
+package transport
+
+// Comm is an ordered group of ranks, analogous to an MPI communicator.
+// Point-to-point operations address peers by their index within the
+// communicator; collectives run over all members and must be called by
+// every member. A Comm value is one rank's handle onto the logical
+// communicator; it is not safe for concurrent use by multiple
+// goroutines of the same rank.
+type Comm interface {
+	// Size returns the number of members.
+	Size() int
+	// Index returns this rank's position within the communicator.
+	Index() int
+	// GlobalRank returns the global rank of member i.
+	GlobalRank(i int) int
+	// Proc returns the owning process handle.
+	Proc() Proc
+
+	// Split partitions the communicator MPI_Comm_split-style: members
+	// passing the same color form a new communicator ordered by key
+	// (ties broken by parent index). Every member must call it.
+	Split(color, key int) (Comm, error)
+	// Subgroup creates a communicator from an explicit ordered list of
+	// parent indices, without communication. Every parent member must
+	// call it with an identical list; non-members receive nil.
+	Subgroup(indices []int) Comm
+
+	// Send transfers data to communicator member dst with the given
+	// tag. Sends are buffered: they enqueue without waiting for the
+	// matching Recv.
+	Send(dst, tag int, data []float64) error
+	// Recv blocks until a message from member src with the given tag
+	// arrives and returns its payload.
+	Recv(src, tag int) ([]float64, error)
+	// SendRecv exchanges messages with a partner (both directions,
+	// same tag) without deadlocking.
+	SendRecv(partner, tag int, data []float64) ([]float64, error)
+
+	// Barrier blocks until every member has entered.
+	Barrier() error
+	// Bcast distributes root's data to every member and returns it on
+	// all of them. Non-root callers pass nil.
+	Bcast(root int, data []float64) ([]float64, error)
+	// Reduce sums the members' equal-length vectors onto root: the
+	// reduction on root, nil elsewhere.
+	Reduce(root int, data []float64) ([]float64, error)
+	// Allreduce sums the members' equal-length vectors and returns the
+	// result on every member.
+	Allreduce(data []float64) ([]float64, error)
+	// Allgather concatenates the members' (possibly unequal) blocks in
+	// member order and returns the concatenation on every member.
+	Allgather(data []float64) ([]float64, error)
+	// Transpose swaps payloads with a partner member (the paper's
+	// pairwise Transpose collective). partner == self returns the
+	// input.
+	Transpose(partner int, data []float64) ([]float64, error)
+}
+
+// Proc is the handle a rank's body uses for identity and cost
+// accounting. It is not safe for concurrent use by multiple goroutines.
+type Proc interface {
+	// Rank returns this process's global rank in [0, P).
+	Rank() int
+	// Size returns the total number of ranks in the run.
+	Size() int
+	// World returns the communicator containing every rank.
+	World() Comm
+	// Compute charges flops floating point operations — how algorithms
+	// account for local BLAS-style work. Backends may return an error
+	// to abort the rank (injected failures, cancellation).
+	Compute(flops int64) error
+	// ChargeComm charges communication cost: alphaUnits message
+	// latencies and words 8-byte words moved. Collectives use it so
+	// the Msgs/Words counters report per-processor α and β cost units.
+	ChargeComm(alphaUnits, words int64)
+	// SetPhase labels subsequent cost charges with a phase name and
+	// returns the previous label. Backends that do not track phases
+	// may ignore the label.
+	SetPhase(label string) (prev string)
+	// Counters returns a snapshot of the rank's accumulated costs.
+	Counters() Counters
+}
+
+// Counters are one rank's accumulated cost measures. For the simulated
+// backend, Msgs/Words/Flops are the paper's α-β-γ cost units and Time
+// is virtual seconds; for real backends they count actual messages,
+// 8-byte words and wall-clock seconds, and Bytes reports raw bytes on
+// the wire (framing included; 0 for simulated runs, which move no real
+// bytes).
+type Counters struct {
+	Msgs  int64
+	Words int64
+	Flops int64
+	Bytes int64
+	Time  float64
+}
+
+// Stats summarizes a completed distributed run in backend-independent
+// form. Every backend's runner returns one.
+type Stats struct {
+	// Time is the critical-path time: the maximum rank clock (virtual
+	// seconds for simmpi, wall seconds for real backends).
+	Time float64
+	// MaxMsgs, MaxWords, MaxFlops, MaxBytes are per-rank maxima — the
+	// per-processor cost measures used throughout the paper.
+	MaxMsgs  int64
+	MaxWords int64
+	MaxFlops int64
+	MaxBytes int64
+	// TotalMsgs, TotalWords, TotalFlops, TotalBytes aggregate over all
+	// ranks.
+	TotalMsgs  int64
+	TotalWords int64
+	TotalFlops int64
+	TotalBytes int64
+	// PerRank holds the final counters of every rank.
+	PerRank []Counters
+	// Phases holds per-phase per-rank maxima for charges made under
+	// Proc.SetPhase labels (empty when no phases were set or the
+	// backend does not track them).
+	Phases map[string]Counters
+}
+
+// Accumulate folds one rank's counters into the summary maxima and
+// totals (PerRank is the caller's to fill).
+func (s *Stats) Accumulate(c Counters) {
+	if c.Time > s.Time {
+		s.Time = c.Time
+	}
+	if c.Msgs > s.MaxMsgs {
+		s.MaxMsgs = c.Msgs
+	}
+	if c.Words > s.MaxWords {
+		s.MaxWords = c.Words
+	}
+	if c.Flops > s.MaxFlops {
+		s.MaxFlops = c.Flops
+	}
+	if c.Bytes > s.MaxBytes {
+		s.MaxBytes = c.Bytes
+	}
+	s.TotalMsgs += c.Msgs
+	s.TotalWords += c.Words
+	s.TotalFlops += c.Flops
+	s.TotalBytes += c.Bytes
+}

@@ -5,7 +5,7 @@ import (
 
 	"cacqr/internal/dist"
 	"cacqr/internal/lin"
-	"cacqr/internal/simmpi"
+	"cacqr/internal/transport"
 )
 
 // BlockedFactor lifts TSQR's m/P ≥ n restriction by processing the
@@ -26,7 +26,7 @@ import (
 // Returns this rank's m/P × n block of Q and the replicated n×n R.
 // workers is threaded to the per-panel Factor calls and the local BGS2
 // products (≤ 1 = serial).
-func BlockedFactor(comm *simmpi.Comm, aLocal *lin.Matrix, m, n, b, workers int) (qLocal, r *lin.Matrix, err error) {
+func BlockedFactor(comm transport.Comm, aLocal *lin.Matrix, m, n, b, workers int) (qLocal, r *lin.Matrix, err error) {
 	if workers < 1 {
 		workers = 1
 	}

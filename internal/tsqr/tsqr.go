@@ -5,7 +5,7 @@ import (
 
 	"cacqr/internal/dist"
 	"cacqr/internal/lin"
-	"cacqr/internal/simmpi"
+	"cacqr/internal/transport"
 )
 
 // tags for tree traffic.
@@ -28,7 +28,7 @@ const (
 // workers bounds the goroutines each rank's local level-3 kernels may
 // use (≤ 1 = serial, the right default for simulated grids). Results are
 // identical for any value.
-func Factor(comm *simmpi.Comm, aLocal *lin.Matrix, m, n, workers int) (qLocal, r *lin.Matrix, err error) {
+func Factor(comm transport.Comm, aLocal *lin.Matrix, m, n, workers int) (qLocal, r *lin.Matrix, err error) {
 	if workers < 1 {
 		workers = 1
 	}

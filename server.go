@@ -1,6 +1,7 @@
 package cacqr
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -163,16 +164,24 @@ func NewServer(o ServerOptions) (*Server, error) {
 // execution is admitted under the server's global rank budget. Safe for
 // arbitrary concurrent use; blocks until the request completes.
 func (s *Server) Submit(req SubmitRequest) (*SubmitResult, error) {
+	return s.SubmitCtx(context.Background(), req)
+}
+
+// SubmitCtx is Submit with request-scoped cancellation: a canceled ctx
+// unblocks the serve layer's waits (batch windows, the rank gate) and
+// aborts an in-flight distributed run — simulated ranks or TCP workers
+// alike — returning the context's error.
+func (s *Server) SubmitCtx(ctx context.Context, req SubmitRequest) (*SubmitResult, error) {
 	preq, cond, err := s.prepare(req)
 	if err != nil {
 		return nil, err
 	}
 	if s.opts.FuseWindow > 0 {
-		return s.submitFused(preq, req, cond)
+		return s.submitFused(ctx, preq, req, cond)
 	}
 	out := &SubmitResult{CondEst: cond}
-	pl, hit, err := s.inner.Do(preq, func(p plan.Plan) error {
-		res, err := FactorizePlan(req.A, p, s.opts.Options)
+	pl, hit, err := s.inner.Do(ctx, preq, func(p plan.Plan) error {
+		res, err := FactorizePlan(req.A, p, s.execOptions(ctx))
 		if err != nil {
 			return err
 		}
@@ -230,17 +239,25 @@ type submitJob struct {
 	err error
 }
 
+// execOptions resolves the shared execution Options for one request,
+// attaching its context so cancellation reaches the distributed run.
+func (s *Server) execOptions(ctx context.Context) Options {
+	opts := s.opts.Options
+	opts.ctx = ctx
+	return opts
+}
+
 // submitFused is Submit through the serve layer's fuse window:
 // concurrent same-key submissions coalesce into one fused batched
 // execution without the caller assembling a batch.
-func (s *Server) submitFused(preq plan.Request, req SubmitRequest, cond float64) (*SubmitResult, error) {
+func (s *Server) submitFused(ctx context.Context, preq plan.Request, req SubmitRequest, cond float64) (*SubmitResult, error) {
 	job := &submitJob{req: req, out: &SubmitResult{CondEst: cond}}
-	pl, hit, err := s.inner.DoFused(preq, job, func(p plan.Plan, payloads []any) []error {
+	pl, hit, err := s.inner.DoFused(ctx, preq, job, func(p plan.Plan, payloads []any) []error {
 		jobs := make([]*submitJob, len(payloads))
 		for i, pay := range payloads {
 			jobs[i] = pay.(*submitJob)
 		}
-		s.execGroup(p, jobs)
+		s.execGroup(ctx, p, jobs)
 		errs := make([]error, len(jobs))
 		for i, j := range jobs {
 			errs[i] = j.err
@@ -267,6 +284,12 @@ func (s *Server) submitFused(preq plan.Request, req SubmitRequest, cond float64)
 // refuses whole groups with ErrOverloaded. Distinct-key groups execute
 // concurrently. Safe for arbitrary concurrent use alongside Submit.
 func (s *Server) SubmitBatch(reqs []SubmitRequest) []BatchItem {
+	return s.SubmitBatchCtx(context.Background(), reqs)
+}
+
+// SubmitBatchCtx is SubmitBatch with request-scoped cancellation shared
+// by every group in the batch.
+func (s *Server) SubmitBatchCtx(ctx context.Context, reqs []SubmitRequest) []BatchItem {
 	items := make([]BatchItem, len(reqs))
 	type group struct {
 		preq plan.Request
@@ -296,8 +319,8 @@ func (s *Server) SubmitBatch(reqs []SubmitRequest) []BatchItem {
 		wg.Add(1)
 		go func(g *group) {
 			defer wg.Done()
-			pl, hit, err := s.inner.DoBatch(g.preq, len(g.jobs), func(p plan.Plan) error {
-				s.execGroup(p, g.jobs)
+			pl, hit, err := s.inner.DoBatch(ctx, g.preq, len(g.jobs), func(p plan.Plan) error {
+				s.execGroup(ctx, p, g.jobs)
 				return nil
 			})
 			for j, job := range g.jobs {
@@ -337,7 +360,7 @@ func denseView(m *lin.Matrix) *Dense {
 // per-request runs to working accuracy); TSQR and PGEQRF have no fused
 // kernels and fall back to per-item simulated runs. Per-item failures
 // land in job.err.
-func (s *Server) execGroup(p plan.Plan, jobs []*submitJob) {
+func (s *Server) execGroup(ctx context.Context, p plan.Plan, jobs []*submitJob) {
 	switch p.Variant {
 	case plan.Sequential, plan.OneD, plan.CACQR2, plan.PanelCACQR2, plan.ShiftedCQR3:
 		shifted := p.Variant == plan.ShiftedCQR3
@@ -378,10 +401,10 @@ func (s *Server) execGroup(p plan.Plan, jobs []*submitJob) {
 			}
 		}
 	default:
-		// No fused kernel for this variant: per-item simulated runs,
+		// No fused kernel for this variant: per-item distributed runs,
 		// sequentially under the group's single gate admission.
 		for _, job := range jobs {
-			res, err := FactorizePlan(job.req.A, p, s.opts.Options)
+			res, err := FactorizePlan(job.req.A, p, s.execOptions(ctx))
 			if err != nil {
 				job.err = err
 				continue

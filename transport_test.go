@@ -1,0 +1,252 @@
+package cacqr
+
+// End-to-end coverage of the pluggable transport: every distributed
+// variant must produce the same factors over real TCP processes as on
+// the simulated runtime, with wire-byte counters populated. The
+// in-process tests serve workers on goroutine listeners; the
+// real-process tests re-exec this test binary as `worker` helper
+// processes, so the factorization genuinely crosses OS process
+// boundaries.
+
+import (
+	"context"
+	"errors"
+	"math"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startLocalWorkers serves n in-process workers on loopback listeners.
+func startLocalWorkers(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		addrs[i] = ln.Addr().String()
+		go ServeWorker(ln)
+		t.Cleanup(func() { ln.Close() })
+	}
+	return addrs
+}
+
+func denseMaxDiff(a, b *Dense) float64 {
+	if a == nil || b == nil {
+		return math.Inf(1)
+	}
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return math.Inf(1)
+	}
+	var d float64
+	for i := range a.Data {
+		if diff := math.Abs(a.Data[i] - b.Data[i]); diff > d {
+			d = diff
+		}
+	}
+	return d
+}
+
+// TestTCPTransportMatchesSim factors the same matrix on the simulated
+// runtime and over TCP workers for every distributed variant, and
+// demands identical factors to 1e-13 plus populated byte counters on
+// the TCP side.
+func TestTCPTransportMatchesSim(t *testing.T) {
+	a := RandomMatrix(1024, 64, 7)
+	workers := startLocalWorkers(t, 3)
+	tcp := Options{Transport: TCPTransport(workers...), Timeout: time.Minute}
+
+	cases := []struct {
+		name string
+		run  func(opts Options) (*Result, error)
+	}{
+		{"1d", func(opts Options) (*Result, error) { return Factorize1D(a, 4, opts) }},
+		{"shifted1d", func(opts Options) (*Result, error) { return FactorizeShifted1D(a, 4, opts) }},
+		{"tsqr", func(opts Options) (*Result, error) { return FactorizeTSQR(a, 4, 0, opts) }},
+		{"grid", func(opts Options) (*Result, error) { return FactorizeOnGrid(a, GridSpec{C: 1, D: 4}, opts) }},
+		{"pgeqrf", func(opts Options) (*Result, error) { return FactorizePGEQRF(a, 2, 2, 16, opts) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sim, err := tc.run(Options{})
+			if err != nil {
+				t.Fatalf("sim run: %v", err)
+			}
+			over, err := tc.run(tcp)
+			if err != nil {
+				t.Fatalf("tcp run: %v", err)
+			}
+			if d := denseMaxDiff(sim.Q, over.Q); d > 1e-13 {
+				t.Errorf("Q differs between transports by %g", d)
+			}
+			if d := denseMaxDiff(sim.R, over.R); d > 1e-13 {
+				t.Errorf("R differs between transports by %g", d)
+			}
+			if sim.Stats.Bytes != 0 {
+				t.Errorf("sim run reported %d wire bytes", sim.Stats.Bytes)
+			}
+			if over.Stats.Bytes <= 0 {
+				t.Errorf("tcp run reported no wire bytes")
+			}
+			if over.Stats.Msgs <= 0 || over.Stats.Words <= 0 {
+				t.Errorf("tcp counters not populated: %+v", over.Stats)
+			}
+		})
+	}
+}
+
+// TestTCPTransportReusesWorkerPool runs plans of different rank counts
+// against one worker pool: a job on np ranks uses the first np−1
+// workers, so a pool sized for the largest plan serves smaller ones too.
+func TestTCPTransportReusesWorkerPool(t *testing.T) {
+	a := RandomMatrix(256, 16, 3)
+	workers := startLocalWorkers(t, 3)
+	opts := Options{Transport: TCPTransport(workers...), Timeout: time.Minute}
+	for _, procs := range []int{1, 2, 4} {
+		if _, err := Factorize1D(a, procs, opts); err != nil {
+			t.Fatalf("procs=%d over 3-worker pool: %v", procs, err)
+		}
+	}
+}
+
+func TestTCPTransportTooFewWorkers(t *testing.T) {
+	a := RandomMatrix(256, 16, 3)
+	workers := startLocalWorkers(t, 1)
+	opts := Options{Transport: TCPTransport(workers...), Timeout: time.Minute}
+	_, err := Factorize1D(a, 4, opts)
+	if err == nil || !strings.Contains(err.Error(), "workers") {
+		t.Fatalf("4-rank job on 1 worker returned %v, want worker-count error", err)
+	}
+}
+
+// TestSubmitCtxCancellation: a canceled request context must abort the
+// submission with the context's error instead of running it.
+func TestSubmitCtxCancellation(t *testing.T) {
+	srv, err := NewServer(ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = srv.SubmitCtx(ctx, SubmitRequest{A: RandomMatrix(256, 16, 1)})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled submit returned %v, want context.Canceled", err)
+	}
+}
+
+// TestHelperWorkerProcess is not a test: it is the body of the worker
+// processes the real-process tests spawn. It serves ranks on a loopback
+// listener, publishes the address through the file named by
+// CACQR_WORKER_ADDR_FILE, and runs until the parent kills it.
+func TestHelperWorkerProcess(t *testing.T) {
+	addrFile := os.Getenv("CACQR_WORKER_ADDR_FILE")
+	if addrFile == "" {
+		t.Skip("helper body for the real-process transport tests")
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("helper listen: %v", err)
+	}
+	// Write to a temp name first so the parent never reads a partial
+	// address.
+	tmp := addrFile + ".tmp"
+	if err := os.WriteFile(tmp, []byte(ln.Addr().String()), 0o644); err != nil {
+		t.Fatalf("helper addr file: %v", err)
+	}
+	if err := os.Rename(tmp, addrFile); err != nil {
+		t.Fatalf("helper addr file: %v", err)
+	}
+	if err := ServeWorker(ln); err != nil {
+		t.Fatalf("helper serve: %v", err)
+	}
+}
+
+// startWorkerProcesses spawns n real OS worker processes by re-execing
+// the test binary into TestHelperWorkerProcess, and returns their
+// addresses once all have come up.
+func startWorkerProcesses(t *testing.T, n int) []string {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatalf("locating test binary: %v", err)
+	}
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		addrFile := filepath.Join(t.TempDir(), "addr")
+		cmd := exec.Command(exe, "-test.run=^TestHelperWorkerProcess$", "-test.v")
+		cmd.Env = append(os.Environ(), "CACQR_WORKER_ADDR_FILE="+addrFile)
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("spawning worker process: %v", err)
+		}
+		t.Cleanup(func() {
+			cmd.Process.Kill()
+			cmd.Wait()
+		})
+		deadline := time.Now().Add(20 * time.Second)
+		for {
+			if b, err := os.ReadFile(addrFile); err == nil && len(b) > 0 {
+				addrs[i] = string(b)
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("worker process %d never published its address", i)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	return addrs
+}
+
+// TestFactorizationAcrossRealProcesses is the acceptance path: a
+// 1024×64 factorization sharded over real OS worker processes through
+// the TCP transport must reproduce the simulated factors to 1e-13, with
+// wire-byte counters populated.
+func TestFactorizationAcrossRealProcesses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes")
+	}
+	a := RandomMatrix(1024, 64, 11)
+	workers := startWorkerProcesses(t, 3)
+	tcp := Options{Transport: TCPTransport(workers...), Timeout: time.Minute}
+
+	for _, tc := range []struct {
+		name string
+		run  func(opts Options) (*Result, error)
+	}{
+		{"cqr2-1d", func(opts Options) (*Result, error) { return Factorize1D(a, 4, opts) }},
+		{"tsqr", func(opts Options) (*Result, error) { return FactorizeTSQR(a, 4, 0, opts) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sim, err := tc.run(Options{})
+			if err != nil {
+				t.Fatalf("sim run: %v", err)
+			}
+			over, err := tc.run(tcp)
+			if err != nil {
+				t.Fatalf("tcp run across processes: %v", err)
+			}
+			if d := denseMaxDiff(sim.Q, over.Q); d > 1e-13 {
+				t.Errorf("Q differs between transports by %g", d)
+			}
+			if d := denseMaxDiff(sim.R, over.R); d > 1e-13 {
+				t.Errorf("R differs between transports by %g", d)
+			}
+			if over.Stats.Bytes <= 0 {
+				t.Errorf("no wire bytes counted across real processes")
+			}
+			if q := OrthogonalityError(over.Q); q > 1e-10 {
+				t.Errorf("Q from real processes lost orthogonality: %g", q)
+			}
+			if res := ResidualNorm(a, over.Q, over.R); res > 1e-12 {
+				t.Errorf("A ≠ QR across real processes: residual %g", res)
+			}
+		})
+	}
+}
