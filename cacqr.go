@@ -201,6 +201,14 @@ type Options struct {
 	// across real OS worker processes, with measured traffic and
 	// wall-clock costs. The sequential entry points ignore it.
 	Transport *Transport
+	// Tracer, when non-nil, samples requests into per-request span
+	// trees — serve admission, plan lookup, κ estimation, execution,
+	// per-pass kernel stages, per-collective transfers with payload
+	// bytes — and aggregates them into its Metrics registry. Consulted
+	// by Server (each Submit becomes one trace); the direct Factorize*
+	// entry points ignore it, having no request boundary to trace. nil
+	// (the default) disables tracing at ~zero cost.
+	Tracer *Tracer
 
 	// ctx carries request-scoped cancellation into a run; set via the
 	// context-aware entry points (Server.SubmitCtx and friends). nil

@@ -9,6 +9,8 @@
 //	       [-window 2ms] [-max-pending 1024] [-fuse-window 0]
 //	       [-mem 0] [-machine stampede2] [-workers 0]
 //	       [-transport sim] [-tcp-workers host:port,...]
+//	       [-trace-sample-rate 1] [-trace-retain 64]
+//	       [-pprof-addr ""] [-quiet]
 //	cacqrd worker [-listen :8378]
 //
 // -max-pending bounds admitted-but-unfinished requests: past it the
@@ -24,13 +26,24 @@
 // the first P−1 workers). The `worker` subcommand is that other side:
 // a process that serves ranks over TCP until terminated.
 //
+// Observability: -trace-sample-rate N samples 1 in N requests into a
+// per-request span tree (1 = every request, 0 = tracing off); sampled
+// responses carry "trace_id" and the tree is retrievable at
+// /v1/trace/{id} while it stays in the -trace-retain ring. /metrics
+// exposes the aggregated series in Prometheus text format, and
+// -pprof-addr starts a separate net/http/pprof listener. Every request
+// logs one structured line to stderr (suppress with -quiet) and echoes
+// an X-Request-Id header (the caller's, or a generated one).
+//
 // Endpoints:
 //
-//	POST /v1/factorize  {"m","n","data"|"gen","procs","condest","want_factors"}
-//	POST /v1/solve      same, plus "b" (length m)
-//	GET  /healthz       liveness probe
-//	GET  /stats         plan-cache, admission, fusing, and per-key
-//	                    latency (p50/p95/p99) counters
+//	POST /v1/factorize   {"m","n","data"|"gen","procs","condest","want_factors"}
+//	POST /v1/solve       same, plus "b" (length m)
+//	GET  /healthz        liveness probe
+//	GET  /stats          plan-cache, admission, fusing, per-key latency
+//	                     (p50/p95/p99), and aggregated metric counters
+//	GET  /metrics        Prometheus text exposition
+//	GET  /v1/trace/{id}  span tree of a recent sampled request
 //
 // A request supplies the matrix either inline ("data": row-major values,
 // length m·n) or as a deterministic generator ("gen": {"seed","cond"}),
@@ -49,9 +62,11 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -78,10 +93,19 @@ func main() {
 		workers    = flag.Int("workers", 0, "per-rank kernel goroutines (0 = serial)")
 		transport  = flag.String("transport", "sim", `rank transport: "sim" (goroutine ranks) or "tcp" (real worker processes)`)
 		tcpWorkers = flag.String("tcp-workers", "", "comma-separated `cacqrd worker` addresses (tcp transport only)")
+		sampleRate = flag.Int("trace-sample-rate", 1, "trace 1 in N requests (1 = every request, 0 = tracing off)")
+		retain     = flag.Int("trace-retain", 0, "finished traces kept for /v1/trace/{id} (0 = default 64)")
+		pprofAddr  = flag.String("pprof-addr", "", "separate net/http/pprof listen address (empty = no pprof)")
+		quiet      = flag.Bool("quiet", false, "suppress per-request log lines")
 	)
 	flag.Parse()
 
 	opts := cacqr.Options{MemBudget: *mem, Workers: *workers}
+	var tracer *cacqr.Tracer
+	if *sampleRate > 0 {
+		tracer = cacqr.NewTracer(cacqr.TracerOptions{SampleEvery: *sampleRate, Retain: *retain})
+		opts.Tracer = tracer
+	}
 	switch *transport {
 	case "sim":
 		if *tcpWorkers != "" {
@@ -122,8 +146,12 @@ func main() {
 	if err != nil {
 		log.Fatalf("cacqrd: %v", err)
 	}
+	registerServeMetrics(tracer.Metrics(), srv)
+	if *pprofAddr != "" {
+		go servePprof(*pprofAddr)
+	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: buildMux(srv, *maxElems)}
+	httpSrv := &http.Server{Addr: *addr, Handler: buildMux(srv, tracer, *maxElems, *quiet)}
 	done := make(chan struct{})
 	go func() {
 		sig := make(chan os.Signal, 1)
@@ -170,18 +198,84 @@ func runWorker(args []string) {
 }
 
 // buildMux wires the daemon's endpoints onto a fresh mux — separated
-// from main so handler tests can drive it through httptest.
-func buildMux(srv *cacqr.Server, maxElems int64) *http.ServeMux {
+// from main so handler tests can drive it through httptest. tracer may
+// be nil (tracing off): /metrics then serves an empty exposition and
+// /v1/trace/{id} always 404s.
+func buildMux(srv *cacqr.Server, tracer *cacqr.Tracer, maxElems int64, quiet bool) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, statsJSON(srv.Stats()))
+		writeJSON(w, http.StatusOK, statsJSON(srv.Stats(), tracer))
 	})
-	mux.HandleFunc("/v1/factorize", handle(srv, false, maxElems))
-	mux.HandleFunc("/v1/solve", handle(srv, true, maxElems))
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		tracer.Metrics().WritePrometheus(w)
+	})
+	mux.HandleFunc("/v1/trace/", func(w http.ResponseWriter, r *http.Request) {
+		id := strings.TrimPrefix(r.URL.Path, "/v1/trace/")
+		td, ok := tracer.Get(id)
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("no retained trace %q (tracing off, never sampled, or evicted from the ring)", id))
+			return
+		}
+		writeJSON(w, http.StatusOK, td)
+	})
+	mux.HandleFunc("/v1/factorize", handle(srv, false, maxElems, quiet))
+	mux.HandleFunc("/v1/solve", handle(srv, true, maxElems, quiet))
 	return mux
+}
+
+// servePprof runs the net/http/pprof handlers on their own listener —
+// an explicit mux, not DefaultServeMux, so profiling exposure is a
+// deliberate, separately-addressed choice.
+func servePprof(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	log.Printf("cacqrd: pprof on %s", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		log.Printf("cacqrd: pprof listener: %v", err)
+	}
+}
+
+// registerServeMetrics exposes the serve layer's live state and ledger
+// through the metrics registry at scrape time — no double bookkeeping,
+// and the lookup-ledger invariants (lookups = hits + misses) hold
+// within one scrape because ServerStats snapshots under one lock.
+func registerServeMetrics(m *cacqr.Metrics, srv *cacqr.Server) {
+	gauge := func(name, help string, get func(cacqr.ServerStats) float64) {
+		m.GaugeFunc(name, help, func() float64 { return get(srv.Stats()) })
+	}
+	counter := func(name, help string, get func(cacqr.ServerStats) float64) {
+		m.CounterFunc(name, help, func() float64 { return get(srv.Stats()) })
+	}
+	counter("cacqr_serve_requests_total", "Request units admitted.",
+		func(st cacqr.ServerStats) float64 { return float64(st.Requests) })
+	counter("cacqr_plan_cache_lookups_total", "Plan-resolution attempts in request units.",
+		func(st cacqr.ServerStats) float64 { return float64(st.Lookups) })
+	counter("cacqr_plan_cache_hits_total", "Plan lookups served from the cache.",
+		func(st cacqr.ServerStats) float64 { return float64(st.Hits) })
+	counter("cacqr_plan_cache_misses_total", "Plan lookups that missed the cache.",
+		func(st cacqr.ServerStats) float64 { return float64(st.Misses) })
+	counter("cacqr_plan_cache_evictions_total", "Plans evicted from the LRU.",
+		func(st cacqr.ServerStats) float64 { return float64(st.Evictions) })
+	counter("cacqr_serve_overloaded_total", "Requests refused at admission.",
+		func(st cacqr.ServerStats) float64 { return float64(st.Overloaded) })
+	counter("cacqr_serve_fused_requests_total", "Request units executed inside fused batches.",
+		func(st cacqr.ServerStats) float64 { return float64(st.FusedRequests) })
+	gauge("cacqr_serve_pending", "Request units admitted and unfinished (queue depth).",
+		func(st cacqr.ServerStats) float64 { return float64(st.Pending) })
+	gauge("cacqr_serve_in_flight_ranks", "Simulated-rank tokens currently held.",
+		func(st cacqr.ServerStats) float64 { return float64(st.InFlightRanks) })
+	gauge("cacqr_serve_fuse_occupancy", "Payloads waiting in open fuse windows.",
+		func(st cacqr.ServerStats) float64 { return float64(st.FuseOccupancy) })
+	gauge("cacqr_plan_cache_entries", "Current plan-cache population.",
+		func(st cacqr.ServerStats) float64 { return float64(st.Entries) })
 }
 
 // request is the wire form of one factorize/solve call.
@@ -212,13 +306,52 @@ type response struct {
 	Bytes        int64     `json:"bytes_per_proc,omitempty"` // wire bytes (tcp transport only)
 	SimSeconds   float64   `json:"sim_seconds"`
 	WallSeconds  float64   `json:"wall_seconds"`
+	TraceID      string    `json:"trace_id,omitempty"` // set when the request was sampled
 	X            []float64 `json:"x,omitempty"`
 	Q            []float64 `json:"q,omitempty"`
 	R            []float64 `json:"r,omitempty"`
 }
 
-func handle(srv *cacqr.Server, solve bool, maxElems int64) http.HandlerFunc {
+// reqSeq numbers generated request IDs within this daemon process.
+var reqSeq atomic.Int64
+
+// requestID echoes the caller's X-Request-Id or mints one, and stamps
+// it on the response so every reply — success or error — is correlatable
+// with the daemon's log line for it.
+func requestID(w http.ResponseWriter, r *http.Request) string {
+	id := r.Header.Get("X-Request-Id")
+	if id == "" {
+		id = fmt.Sprintf("req-%06d", reqSeq.Add(1))
+	}
+	w.Header().Set("X-Request-Id", id)
+	return id
+}
+
+func handle(srv *cacqr.Server, solve bool, maxElems int64, quiet bool) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		id := requestID(w, r)
+		start := time.Now()
+		logLine := func(req request, res *cacqr.SubmitResult, err error) {
+			if quiet {
+				return
+			}
+			variant, kappaBucket, hit, fused, traceID := "-", "-", false, false, "-"
+			if res != nil {
+				variant = string(res.Plan.Variant)
+				kappaBucket = fmt.Sprintf("%d", cacqr.KappaBucket(res.CondEst))
+				hit, fused = res.PlanCacheHit, res.Fused
+				if res.TraceID != "" {
+					traceID = res.TraceID
+				}
+			}
+			outcome := "ok"
+			if err != nil {
+				outcome = fmt.Sprintf("error=%q", err)
+			}
+			log.Printf("request id=%s shape=%dx%d variant=%s kappa_bucket=%s cache_hit=%t fused=%t trace=%s dur=%s %s",
+				id, req.M, req.N, variant, kappaBucket, hit, fused, traceID,
+				time.Since(start).Round(time.Microsecond), outcome)
+		}
 		if r.Method != http.MethodPost {
 			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
 			return
@@ -233,23 +366,26 @@ func handle(srv *cacqr.Server, solve bool, maxElems int64) http.HandlerFunc {
 		var req request
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			logLine(req, nil, err)
 			return
 		}
 		a, err := buildMatrix(req, maxElems)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err)
+			logLine(req, nil, err)
 			return
 		}
 		sub := cacqr.SubmitRequest{A: a, Procs: req.Procs, CondEst: req.CondEst}
 		if solve {
 			if req.B == nil {
 				writeError(w, http.StatusBadRequest, fmt.Errorf("solve needs \"b\" (length m)"))
+				logLine(req, nil, fmt.Errorf("missing b"))
 				return
 			}
 			sub.B = req.B
 		}
-		start := time.Now()
 		res, err := srv.SubmitCtx(r.Context(), sub)
+		logLine(req, res, err)
 		if err != nil {
 			code := http.StatusUnprocessableEntity
 			if errors.Is(err, cacqr.ErrOverloaded) {
@@ -271,6 +407,7 @@ func handle(srv *cacqr.Server, solve bool, maxElems int64) http.HandlerFunc {
 			Bytes:        res.Stats.Bytes,
 			SimSeconds:   res.Stats.Time,
 			WallSeconds:  time.Since(start).Seconds(),
+			TraceID:      res.TraceID,
 			X:            res.X,
 		}
 		if req.WantFactors {
@@ -307,21 +444,24 @@ func buildMatrix(req request, maxElems int64) (*cacqr.Dense, error) {
 }
 
 // statsJSON flattens ServerStats for the wire, adding the derived rate.
-// "latencies" maps plan-key strings to {"count","p50","p95","p99"}
+// "latencies" maps plan-key strings to {"count","sum","p50","p95","p99"}
 // (seconds, nearest-rank over the retained window); it is an empty
-// object until the first request completes.
-func statsJSON(st cacqr.ServerStats) map[string]any {
+// object until the first request completes. When tracing is on,
+// "metrics" folds in the registry's aggregated series.
+func statsJSON(st cacqr.ServerStats, tracer *cacqr.Tracer) map[string]any {
 	if st.Latencies == nil {
 		st.Latencies = map[string]hist.Summary{}
 	}
-	return map[string]any{
+	out := map[string]any{
 		"requests":        st.Requests,
+		"lookups":         st.Lookups,
 		"hits":            st.Hits,
 		"misses":          st.Misses,
 		"evictions":       st.Evictions,
 		"entries":         st.Entries,
 		"planned":         st.Planned,
 		"batched":         st.Batched,
+		"leads":           st.Leads,
 		"in_flight_ranks": st.InFlightRanks,
 		"rank_budget":     st.RankBudget,
 		"hit_rate":        st.HitRate(),
@@ -330,8 +470,13 @@ func statsJSON(st cacqr.ServerStats) map[string]any {
 		"overloaded":      st.Overloaded,
 		"fused_batches":   st.FusedBatches,
 		"fused_requests":  st.FusedRequests,
+		"fuse_occupancy":  st.FuseOccupancy,
 		"latencies":       st.Latencies,
 	}
+	if m := tracer.Metrics().Snapshot(); m != nil {
+		out["metrics"] = m
+	}
+	return out
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

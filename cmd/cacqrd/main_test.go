@@ -3,8 +3,10 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -18,7 +20,7 @@ func newTestDaemon(t *testing.T) *httptest.Server {
 		t.Fatal(err)
 	}
 	t.Cleanup(srv.Close)
-	ts := httptest.NewServer(buildMux(srv, 1<<24))
+	ts := httptest.NewServer(buildMux(srv, nil, 1<<24, true))
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -117,7 +119,7 @@ func TestOverloadedMapsTo503(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(buildMux(srv, 1<<24))
+	ts := httptest.NewServer(buildMux(srv, nil, 1<<24, true))
 	t.Cleanup(ts.Close)
 
 	done := make(chan error, 1)
@@ -150,5 +152,168 @@ func TestOverloadedMapsTo503(t *testing.T) {
 	srv.Close() // drains the held fuse window
 	if err := <-done; err != nil {
 		t.Fatalf("held request failed: %v", err)
+	}
+}
+
+func newTracedDaemon(t *testing.T) (*httptest.Server, *cacqr.Tracer) {
+	t.Helper()
+	tracer := cacqr.NewTracer(cacqr.TracerOptions{})
+	srv, err := cacqr.NewServer(cacqr.ServerOptions{
+		Procs: 8, BatchWindow: -1,
+		Options: cacqr.Options{Tracer: tracer},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	registerServeMetrics(tracer.Metrics(), srv)
+	ts := httptest.NewServer(buildMux(srv, tracer, 1<<24, true))
+	t.Cleanup(ts.Close)
+	return ts, tracer
+}
+
+func postFactorize(t *testing.T, ts *httptest.Server, body map[string]any) (*http.Response, map[string]any) {
+	t.Helper()
+	b, _ := json.Marshal(body)
+	resp, err := http.Post(ts.URL+"/v1/factorize", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+// One traced request end to end through the daemon: the response names
+// its trace, /v1/trace/{id} returns the span tree, and /metrics carries
+// the aggregated series in Prometheus text format.
+func TestTraceAndMetricsEndpoints(t *testing.T) {
+	ts, _ := newTracedDaemon(t)
+
+	resp, out := postFactorize(t, ts, map[string]any{
+		"m": 512, "n": 32, "procs": 8, "condest": 10,
+		"gen": map[string]any{"seed": 3},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("factorize status %d: %v", resp.StatusCode, out)
+	}
+	id, _ := out["trace_id"].(string)
+	if id == "" {
+		t.Fatalf("traced daemon response has no trace_id: %v", out)
+	}
+
+	// The span tree must be retrievable by that id.
+	trace := getJSON(t, ts.URL+"/v1/trace/"+id)
+	if trace["id"] != id {
+		t.Fatalf("trace id = %v, want %s", trace["id"], id)
+	}
+	root, ok := trace["root"].(map[string]any)
+	if !ok || root["name"] != "factorize" {
+		t.Fatalf("trace root = %v", trace["root"])
+	}
+	kids, _ := root["children"].([]any)
+	if len(kids) == 0 {
+		t.Fatal("trace root has no stage children")
+	}
+
+	// An unknown id is a JSON 404, not a panic or empty 200.
+	r404, err := http.Get(ts.URL + "/v1/trace/no-such-trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r404.Body.Close()
+	if r404.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown trace id returned %d, want 404", r404.StatusCode)
+	}
+
+	// /metrics: aggregated tracer series plus the serve gauges.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if ct := mresp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics Content-Type = %q", ct)
+	}
+	text := string(raw)
+	for _, want := range []string{
+		"# TYPE cacqr_stage_seconds summary",
+		`cacqr_stage_seconds{stage="execute"`,
+		"cacqr_requests_total{",
+		`outcome="ok"`,
+		"cacqr_request_trace_seconds_count 1",
+		"cacqr_serve_requests_total 1",
+		"cacqr_plan_cache_misses_total 1",
+		"# TYPE cacqr_serve_pending gauge",
+		"cacqr_plan_cache_entries 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("exposition:\n%s", text)
+	}
+}
+
+// The daemon mints a request id when the client sends none and echoes
+// the client's own when it does.
+func TestRequestIDHeader(t *testing.T) {
+	ts, _ := newTracedDaemon(t)
+
+	resp, _ := postFactorize(t, ts, map[string]any{
+		"m": 64, "n": 4, "gen": map[string]any{"seed": 1},
+	})
+	if got := resp.Header.Get("X-Request-Id"); got == "" {
+		t.Fatal("no X-Request-Id on response")
+	}
+
+	b, _ := json.Marshal(map[string]any{"m": 64, "n": 4, "gen": map[string]any{"seed": 1}})
+	req, _ := http.NewRequest("POST", ts.URL+"/v1/factorize", bytes.NewReader(b))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-Id", "caller-abc-123")
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if got := resp2.Header.Get("X-Request-Id"); got != "caller-abc-123" {
+		t.Fatalf("X-Request-Id = %q, want the caller's id echoed", got)
+	}
+}
+
+// /stats must fold in the new accounting fields and the metrics
+// snapshot when tracing is on.
+func TestStatsCarriesMetricsSnapshot(t *testing.T) {
+	ts, _ := newTracedDaemon(t)
+	postFactorize(t, ts, map[string]any{
+		"m": 256, "n": 16, "condest": 10, "gen": map[string]any{"seed": 9},
+	})
+
+	st := getJSON(t, ts.URL+"/stats")
+	for _, field := range []string{"lookups", "leads", "fuse_occupancy", "metrics"} {
+		if _, ok := st[field]; !ok {
+			t.Fatalf("/stats missing %q: %v", field, st)
+		}
+	}
+	if st["lookups"].(float64) != st["hits"].(float64)+st["misses"].(float64) {
+		t.Fatalf("stats invariant broken: %v", st)
+	}
+	metrics, ok := st["metrics"].(map[string]any)
+	if !ok {
+		t.Fatalf(`/stats "metrics" = %T`, st["metrics"])
+	}
+	found := false
+	for k := range metrics {
+		if strings.HasPrefix(k, "cacqr_requests_total") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("metrics snapshot lacks cacqr_requests_total series: %v", metrics)
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"cacqr/internal/dist"
 	"cacqr/internal/grid"
 	"cacqr/internal/lin"
+	"cacqr/internal/obs"
 	"cacqr/internal/pgeqrf"
 	"cacqr/internal/simmpi"
 	"cacqr/internal/transport"
@@ -362,16 +363,76 @@ func runDistributed(job wireJob, global *lin.Matrix, opts Options) (*Result, err
 	}, nil
 }
 
+// startRunSpans opens the trace structure of one distributed run under
+// the span carried by opts.ctx: a "run" child plus one kind-"rank" span
+// per live local rank (liveRanks of them; TCP workers are remote and
+// get theirs synthesized from counters post-run). When the request is
+// untraced everything here is nil and the run pays nil checks only.
+func startRunSpans(opts Options, job wireJob, transportName string, liveRanks int) (*obs.Span, []*obs.Span) {
+	spans := make([]*obs.Span, job.procs())
+	run := obs.FromContext(opts.ctx).Child("run")
+	if run == nil {
+		return nil, spans
+	}
+	run.SetStr("transport", transportName)
+	run.SetStr("variant", job.Variant)
+	run.SetInt("procs", int64(job.procs()))
+	for i := 0; i < liveRanks && i < len(spans); i++ {
+		spans[i] = run.Rank(fmt.Sprintf("rank-%d", i))
+	}
+	return run, spans
+}
+
+// finishRunSpans closes the run's spans, attributing each rank its
+// measured transport counters — msgs/words/flops in the paper's α-β-γ
+// units, wire bytes on real backends — and the run its totals, so a
+// trace's per-collective byte counts can be checked against
+// transport.Counters.
+func finishRunSpans(run *obs.Span, spans []*obs.Span, st *transport.Stats) {
+	if run == nil {
+		return
+	}
+	if st != nil {
+		for i := range spans {
+			if spans[i] == nil && i < len(st.PerRank) {
+				// Remote rank (TCP worker): synthesize its span from the
+				// counters the coordinator collected. Zero duration —
+				// remote stage timings are not shipped back.
+				spans[i] = run.Rank(fmt.Sprintf("rank-%d", i))
+			}
+			if spans[i] != nil && i < len(st.PerRank) {
+				c := st.PerRank[i]
+				spans[i].SetInt("msgs", c.Msgs)
+				spans[i].SetInt("words", c.Words)
+				spans[i].SetInt("flops", c.Flops)
+				spans[i].SetInt("bytes", c.Bytes)
+				spans[i].SetFloat("time", c.Time)
+			}
+		}
+		run.SetInt("total_msgs", st.TotalMsgs)
+		run.SetInt("total_words", st.TotalWords)
+		run.SetInt("total_bytes", st.TotalBytes)
+	}
+	for _, sp := range spans {
+		sp.End()
+	}
+	run.End()
+}
+
 // runSim executes job on the simulated runtime. A context on the
-// Options adds cancellation alongside the watchdog timeout.
+// Options adds cancellation alongside the watchdog timeout; a span on
+// it records the run, with every rank wrapped by transport.Traced so
+// collectives and kernel stages land under per-rank spans.
 func runSim(job wireJob, global *lin.Matrix, opts Options, sink func(q, r *lin.Matrix)) (*transport.Stats, error) {
 	sopts := simmpi.Options{Timeout: runTimeout(opts)}
 	if opts.ctx != nil {
 		sopts.Cancel = opts.ctx.Done()
 	}
+	run, rankSpans := startRunSpans(opts, job, "sim", job.procs())
 	st, err := simmpi.RunWithOptions(job.procs(), sopts, func(p *simmpi.Proc) error {
-		return jobBody(job, nil, global, sink)(p)
+		return jobBody(job, nil, global, sink)(transport.Traced(p, rankSpans[p.Rank()]))
 	})
+	finishRunSpans(run, rankSpans, st)
 	if err != nil && errors.Is(err, simmpi.ErrCanceled) && opts.ctx != nil && opts.ctx.Err() != nil {
 		err = opts.ctx.Err()
 	}
@@ -409,12 +470,18 @@ func runTCP(job wireJob, global *lin.Matrix, opts Options, sink func(q, r *lin.M
 	}
 	ctx, cancel := context.WithTimeout(parent, runTimeout(opts))
 	defer cancel()
+	// Only rank 0 runs in this process, so only it gets a live span;
+	// worker ranks get theirs synthesized from the counters the
+	// coordinator collects over the control connections.
+	run, rankSpans := startRunSpans(opts, job, "tcp", 1)
 	coord := &tcpnet.Coordinator{Workers: workers[:np-1]}
-	return coord.Run(ctx,
+	st, err := coord.Run(ctx,
 		func(rank int) []byte { return payloads[rank] },
 		func(p transport.Proc) error {
-			return jobBody(job, local0, global, sink)(p)
+			return jobBody(job, local0, global, sink)(transport.Traced(p, rankSpans[0]))
 		})
+	finishRunSpans(run, rankSpans, st)
+	return st, err
 }
 
 // ServeWorker turns the calling process into a factorization worker: it

@@ -8,6 +8,7 @@ import (
 	"cacqr/internal/grid"
 	"cacqr/internal/lin"
 	"cacqr/internal/mm3d"
+	"cacqr/internal/obs"
 )
 
 // Params tune the CA-CQR2 algorithm the way the paper's experiment
@@ -57,7 +58,11 @@ func CACQR(g *grid.Grid, aLocal *lin.Matrix, m, n int, prm Params) (qLocal, rLoc
 	// Line 1: Bcast A along Π[:, y, z] from root x = z; W is the block
 	// of the processor column x = z. Each step runs under a simmpi
 	// phase labeled with its Table V line, so measured per-line costs
-	// can be checked against the model's decomposition.
+	// can be checked against the model's decomposition — and, when this
+	// rank carries a trace span, under a stage span with the same label.
+	stg := obs.StagesOf(p)
+	defer stg.Done()
+	stg.Enter("1:Bcast(A)")
 	defer p.SetPhase(p.SetPhase("1:Bcast(A)"))
 	var aRoot []float64
 	if g.X == g.Z {
@@ -75,6 +80,7 @@ func CACQR(g *grid.Grid, aLocal *lin.Matrix, m, n int, prm Params) (qLocal, rLoc
 	// Line 2: X = Wᵀ·A. Charged at the SYRK rate (m/d)·(n/c)²: the
 	// paper's 4mn² + (5/3)n³ critical path counts the Gram-matrix work
 	// symmetrically, as its implementation's BLAS calls do.
+	stg.Enter("2:MM(WtA)")
 	p.SetPhase("2:MM(WtA)")
 	x := lin.NewMatrix(n/c, n/c)
 	lin.GemmParallel(prm.localWorkers(), true, false, 1, w, aLocal, 0, x)
@@ -83,6 +89,7 @@ func CACQR(g *grid.Grid, aLocal *lin.Matrix, m, n int, prm Params) (qLocal, rLoc
 	}
 
 	// Line 3: Reduce within the contiguous y-group onto root offset z.
+	stg.Enter("3:Reduce")
 	p.SetPhase("3:Reduce")
 	xFlat := dist.Flatten(x)
 	yFlat, err := g.YGroup.Reduce(g.Z, xFlat)
@@ -93,6 +100,7 @@ func CACQR(g *grid.Grid, aLocal *lin.Matrix, m, n int, prm Params) (qLocal, rLoc
 	// Line 4: Allreduce across the strided y-groups. Only the groups
 	// whose offset equals z hold partial sums; the rest contribute
 	// zeros and their result is discarded by the depth broadcast.
+	stg.Enter("4:Allreduce")
 	p.SetPhase("4:Allreduce")
 	contrib := yFlat
 	if contrib == nil {
@@ -105,6 +113,7 @@ func CACQR(g *grid.Grid, aLocal *lin.Matrix, m, n int, prm Params) (qLocal, rLoc
 
 	// Line 5: Bcast along depth from root z = y mod c, giving every
 	// slice of every subcube the cyclic block of Z = AᵀA.
+	stg.Enter("5:Bcast(Z,depth)")
 	p.SetPhase("5:Bcast(Z,depth)")
 	var zRoot []float64
 	if g.Z == g.Y%c {
@@ -120,6 +129,7 @@ func CACQR(g *grid.Grid, aLocal *lin.Matrix, m, n int, prm Params) (qLocal, rLoc
 	}
 
 	// Lines 6–7: CFR3D on the subcube: Z = Rᵀ·R with L = Rᵀ, Y = L⁻¹.
+	stg.Enter("7:CFR3D")
 	p.SetPhase("7:CFR3D")
 	res, err := cfr3d.Factor(g.Cube, zBlock, n, cfr3d.Options{
 		BaseSize: prm.BaseSize, InverseDepth: prm.InverseDepth, Workers: prm.localWorkers(),
@@ -131,6 +141,7 @@ func CACQR(g *grid.Grid, aLocal *lin.Matrix, m, n int, prm Params) (qLocal, rLoc
 	// Line 8: Q = A·R⁻¹ over the subcube (blocked substitution when the
 	// top inverse levels were skipped), plus the transpose that yields
 	// the caller's R = Lᵀ block.
+	stg.Enter("8:MM3D(Q)+Transp")
 	p.SetPhase("8:MM3D(Q)+Transp")
 	qLocal, err = applyRInv(g.Cube, aLocal, res.L, res.Y, prm.InverseDepth, prm.localWorkers())
 	if err != nil {

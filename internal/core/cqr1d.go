@@ -5,6 +5,7 @@ import (
 
 	"cacqr/internal/dist"
 	"cacqr/internal/lin"
+	"cacqr/internal/obs"
 	"cacqr/internal/transport"
 )
 
@@ -47,11 +48,18 @@ func oneDCholeskyQR(comm transport.Comm, aLocal *lin.Matrix, m, n, workers int, 
 		return nil, nil, fmt.Errorf("core: local block %dx%d, want %dx%d", aLocal.Rows, aLocal.Cols, m/np, n)
 	}
 
+	// Stage spans mirror the paper's per-line cost decomposition; a rank
+	// without a trace span gets a nil *Stages and every call no-ops.
+	stg := obs.StagesOf(p)
+	defer stg.Done()
+
+	stg.Enter("gram-syrk")
 	x := lin.SyrkNewParallel(workers, aLocal)
 	if err := p.Compute(lin.SyrkFlops(aLocal.Rows, n)); err != nil {
 		return nil, nil, err
 	}
 
+	stg.Enter("gram-allreduce")
 	zFlat, err := comm.Allreduce(dist.Flatten(x))
 	if err != nil {
 		return nil, nil, err
@@ -77,6 +85,7 @@ func oneDCholeskyQR(comm transport.Comm, aLocal *lin.Matrix, m, n, workers int, 
 		}
 	}
 
+	stg.Enter("cholesky")
 	l, y, err := lin.CholInv(z)
 	if err != nil {
 		if shifted {
@@ -90,6 +99,7 @@ func oneDCholeskyQR(comm transport.Comm, aLocal *lin.Matrix, m, n, workers int, 
 
 	// Q = A·(L⁻¹)ᵀ = A·R⁻¹, charged at the TRMM rate (R⁻¹ triangular),
 	// matching the paper's 4mn² + (5/3)n³ critical-path count.
+	stg.Enter("q-update")
 	qLocal = lin.NewMatrix(aLocal.Rows, n)
 	lin.GemmParallel(workers, false, true, 1, aLocal, y, 0, qLocal)
 	if err := p.Compute(lin.TrsmFlops(aLocal.Rows, n)); err != nil {

@@ -24,6 +24,7 @@ type Window struct {
 	next  int       // ring cursor
 	fill  int       // populated entries, ≤ len(buf)
 	count int64     // total observations ever, for throughput accounting
+	sum   float64   // total seconds ever, for Prometheus summary _sum
 }
 
 // New returns a window retaining the latest size observations
@@ -44,14 +45,18 @@ func (w *Window) Observe(d time.Duration) {
 		w.fill++
 	}
 	w.count++
+	w.sum += d.Seconds()
 	w.mu.Unlock()
 }
 
 // Summary is the JSON-ready quantile snapshot surfaced by /stats.
 // Quantiles are in seconds; Count is the total number of observations
-// ever recorded (the quantiles cover only the retained window).
+// ever recorded and Sum their total in seconds (the quantiles cover
+// only the retained window, Count/Sum the window's whole lifetime —
+// exactly the Prometheus summary-type split).
 type Summary struct {
 	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
 	P50   float64 `json:"p50"`
 	P95   float64 `json:"p95"`
 	P99   float64 `json:"p99"`
@@ -64,6 +69,7 @@ func (w *Window) Summary() Summary {
 	vals := make([]float64, n)
 	copy(vals, w.buf[:n])
 	count := w.count
+	sum := w.sum
 	w.mu.Unlock()
 	if n == 0 {
 		return Summary{}
@@ -71,6 +77,7 @@ func (w *Window) Summary() Summary {
 	sort.Float64s(vals)
 	return Summary{
 		Count: count,
+		Sum:   sum,
 		P50:   nearestRank(vals, 50),
 		P95:   nearestRank(vals, 95),
 		P99:   nearestRank(vals, 99),

@@ -1,0 +1,268 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cacqr/internal/hist"
+)
+
+// Label is one metric label pair. Build with L.
+type Label struct{ Key, Value string }
+
+// L builds a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Registry is a small metric registry — counters, scrape-time
+// gauge/counter functions, and summary-style histograms built on
+// hist.Window — exposable in Prometheus text format and as a flat JSON
+// snapshot. All methods are nil-safe: a nil *Registry accepts
+// registrations and observations as no-ops (Counter and Histogram
+// return nil, themselves valid no-op receivers), which is what keeps
+// the untraced, metrics-free configuration branch-free at call sites.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string // registration order, for stable exposition
+}
+
+type family struct {
+	name, help, typ string // typ: "counter", "gauge", "summary"
+
+	mu     sync.Mutex
+	series map[string]*series
+	order  []string
+}
+
+type series struct {
+	labels string // rendered {k="v",...} suffix, "" when unlabeled
+	val    atomic.Int64
+	fn     func() float64 // scrape-time value (GaugeFunc/CounterFunc)
+	win    *hist.Window   // summary only
+}
+
+// Counter is a monotonically increasing int64 series. Nil-safe.
+type Counter struct{ s *series }
+
+// Add increments the counter.
+func (c *Counter) Add(delta int64) {
+	if c == nil {
+		return
+	}
+	c.s.val.Add(delta)
+}
+
+// Value reads the counter.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.s.val.Load()
+}
+
+// Histogram is a sliding-window latency summary series (p50/p95/p99
+// plus lifetime count and sum), exposed as a Prometheus summary.
+// Nil-safe.
+type Histogram struct{ s *series }
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	h.s.win.Observe(d)
+}
+
+// ObserveSeconds records one duration given in seconds.
+func (h *Histogram) ObserveSeconds(sec float64) {
+	if h == nil {
+		return
+	}
+	h.s.win.Observe(time.Duration(sec * float64(time.Second)))
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Counter returns the counter series for name+labels, creating family
+// and series on first use. Help and labels must be used consistently
+// for one name.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	s := r.family(name, help, "counter").seriesFor(renderLabels(labels), nil, 0)
+	return &Counter{s: s}
+}
+
+// Histogram returns the summary series for name+labels, creating it on
+// first use with the default hist window.
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	s := r.family(name, help, "summary").seriesFor(renderLabels(labels), nil, hist.DefaultWindow)
+	return &Histogram{s: s}
+}
+
+// GaugeFunc registers a gauge evaluated at scrape time — how cacqrd
+// exposes live serve-layer state (queue depth, in-flight ranks, fuse
+// occupancy) without double bookkeeping.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.family(name, help, "gauge").seriesFor(renderLabels(labels), fn, 0)
+}
+
+// CounterFunc registers a counter evaluated at scrape time, for
+// cumulative counts owned elsewhere (the serve layer's hit/miss
+// ledger).
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.family(name, help, "counter").seriesFor(renderLabels(labels), fn, 0)
+}
+
+func (r *Registry) family(name, help, typ string) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, series: make(map[string]*series)}
+		r.families[name] = f
+		r.order = append(r.order, name)
+	}
+	return f
+}
+
+func (f *family) seriesFor(labels string, fn func() float64, window int) *series {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.series[labels]
+	if !ok {
+		s = &series{labels: labels, fn: fn}
+		if f.typ == "summary" {
+			s.win = hist.New(window)
+		}
+		f.series[labels] = s
+		f.order = append(f.order, labels)
+	}
+	return s
+}
+
+// renderLabels renders a Prometheus label suffix: {a="x",b="y"},
+// sorted by key so the same label set always maps to the same series.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	sort.Slice(labels, func(i, j int) bool { return labels[i].Key < labels[j].Key })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// mergeLabels splices extra pairs into a rendered label suffix — how
+// summary quantile labels join the series' own labels.
+func mergeLabels(labels, extra string) string {
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return labels[:len(labels)-1] + "," + extra + "}"
+}
+
+// WritePrometheus writes every family in the Prometheus text exposition
+// format (version 0.0.4): HELP/TYPE headers, counter and gauge samples,
+// and summaries as quantile series plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	names := make([]string, len(r.order))
+	copy(names, r.order)
+	fams := make([]*family, len(names))
+	for i, n := range names {
+		fams[i] = r.families[n]
+	}
+	r.mu.Unlock()
+	for _, f := range fams {
+		f.mu.Lock()
+		labelOrder := make([]string, len(f.order))
+		copy(labelOrder, f.order)
+		serieses := make([]*series, len(labelOrder))
+		for i, ls := range labelOrder {
+			serieses[i] = f.series[ls]
+		}
+		f.mu.Unlock()
+		fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
+		for _, s := range serieses {
+			switch {
+			case s.win != nil:
+				sum := s.win.Summary()
+				for _, q := range [...]struct {
+					q string
+					v float64
+				}{{"0.5", sum.P50}, {"0.95", sum.P95}, {"0.99", sum.P99}} {
+					fmt.Fprintf(w, "%s%s %g\n", f.name, mergeLabels(s.labels, `quantile="`+q.q+`"`), q.v)
+				}
+				fmt.Fprintf(w, "%s_sum%s %g\n", f.name, s.labels, sum.Sum)
+				fmt.Fprintf(w, "%s_count%s %d\n", f.name, s.labels, sum.Count)
+			case s.fn != nil:
+				fmt.Fprintf(w, "%s%s %g\n", f.name, s.labels, s.fn())
+			default:
+				fmt.Fprintf(w, "%s%s %d\n", f.name, s.labels, s.val.Load())
+			}
+		}
+	}
+}
+
+// Snapshot flattens the registry into a JSON-ready map: scalar series
+// keyed by name+labels, summaries as hist.Summary values. This is what
+// cacqrd folds into /stats.
+func (r *Registry) Snapshot() map[string]any {
+	if r == nil {
+		return nil
+	}
+	out := make(map[string]any)
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.order))
+	for _, n := range r.order {
+		fams = append(fams, r.families[n])
+	}
+	r.mu.Unlock()
+	for _, f := range fams {
+		f.mu.Lock()
+		for _, ls := range f.order {
+			s := f.series[ls]
+			key := f.name + ls
+			switch {
+			case s.win != nil:
+				out[key] = s.win.Summary()
+			case s.fn != nil:
+				out[key] = s.fn()
+			default:
+				out[key] = s.val.Load()
+			}
+		}
+		f.mu.Unlock()
+	}
+	return out
+}

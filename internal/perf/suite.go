@@ -81,6 +81,14 @@ func Suite(quick bool, workers int) []Case {
 	if err != nil {
 		panic("perf: server options invalid by construction: " + err.Error())
 	}
+	// The traced twin of submitServer: every request sampled, a small
+	// retention ring so the suite doesn't accumulate span trees.
+	tracedOpts := opts
+	tracedOpts.Tracer = cacqr.NewTracer(cacqr.TracerOptions{SampleEvery: 1, Retain: 4})
+	tracedServer, err := cacqr.NewServer(cacqr.ServerOptions{Procs: auP, BatchWindow: -1, Options: tracedOpts})
+	if err != nil {
+		panic("perf: server options invalid by construction: " + err.Error())
+	}
 	// Throughput-mode fixtures: a flood of same-shape small QRs, driven
 	// once as per-request Submits and once as one fused SubmitBatch. The
 	// ratio of these two rows is the batched mode's throughput multiplier
@@ -286,10 +294,27 @@ func Suite(quick bool, workers int) []Case {
 			// condition estimate and the factorization, but answers the
 			// plan from cache — compare with the cacqr2-auto row, which
 			// re-plans every request.
-			Name:  nameSz("serve-submit", d3M, d3N) + "-p" + itoa(auP),
+			Name:  nameSz("serve-submit-untraced", d3M, d3N) + "-p" + itoa(auP),
 			Flops: lin.CQR2Flops(d3M, d3N),
 			Run: func() (Stats, error) {
 				res, err := submitServer.Submit(cacqr.SubmitRequest{A: d3A})
+				if err != nil {
+					return Stats{}, err
+				}
+				return Stats{Msgs: res.Stats.Msgs, Words: res.Stats.Words}, nil
+			},
+		},
+		{
+			// The identical request through a server whose tracer samples
+			// every request: condest/plan/gate/execute stages, per-rank
+			// spans, per-collective spans, metrics aggregation. Against
+			// serve-submit-untraced this row prices full instrumentation;
+			// the untraced row against its own baseline gates that the
+			// nil-tracer fast path stays free.
+			Name:  nameSz("serve-submit-traced", d3M, d3N) + "-p" + itoa(auP),
+			Flops: lin.CQR2Flops(d3M, d3N),
+			Run: func() (Stats, error) {
+				res, err := tracedServer.Submit(cacqr.SubmitRequest{A: d3A})
 				if err != nil {
 					return Stats{}, err
 				}

@@ -12,15 +12,15 @@ func TestKappaBucketBoundaries(t *testing.T) {
 		cond float64
 		want int
 	}{
-		{0, 0},              // unknown
-		{1, 0},              // perfectly conditioned
-		{1.0000001, 1},      // just past the no-information edge
-		{10, 1},             // decade edges are inclusive on the right
-		{10.0001, 2},        // …and exclusive on the left
-		{1e7, 7},            // the CQR2-family routing decade
-		{1.0001e7, 8},       //
-		{9.9e9, 10},         // interior of a decade
-		{1e16, 16},          // last finite bucket edge
+		{0, 0},         // unknown
+		{1, 0},         // perfectly conditioned
+		{1.0000001, 1}, // just past the no-information edge
+		{10, 1},        // decade edges are inclusive on the right
+		{10.0001, 2},   // …and exclusive on the left
+		{1e7, 7},       // the CQR2-family routing decade
+		{1.0001e7, 8},  //
+		{9.9e9, 10},    // interior of a decade
+		{1e16, 16},     // last finite bucket edge
 		{1.1e16, MaxKappaBucket},
 		{math.Inf(1), MaxKappaBucket}, // rank-deficient estimate
 		{math.NaN(), MaxKappaBucket},  // conservative for garbage

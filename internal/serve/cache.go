@@ -2,23 +2,20 @@ package serve
 
 import (
 	"container/list"
-	"sync"
 
 	"cacqr/internal/plan"
 )
 
 // planCache is a bounded LRU of planner decisions keyed by
-// plan.CacheKey. It is safe for concurrent use; Get promotes, Put
-// inserts-or-refreshes and evicts the least recently used entry past
-// capacity. Hit/miss/eviction counters are cumulative over the cache's
-// lifetime.
+// plan.CacheKey. It is NOT concurrency-safe and keeps no counters: the
+// owning Server serializes access under its own mutex and maintains the
+// hit/miss/eviction ledger there, so a cache consult and the counter it
+// updates are one atomic step — a concurrent Stats scrape can never
+// observe a hit/miss pair mid-update.
 type planCache struct {
-	mu      sync.Mutex
 	cap     int
 	order   *list.List // front = most recently used; values are *cacheEntry
 	entries map[plan.CacheKey]*list.Element
-
-	hits, misses, evictions int64
 }
 
 type cacheEntry struct {
@@ -34,39 +31,34 @@ func newPlanCache(capacity int) *planCache {
 	}
 }
 
+// Get returns the cached plan for k, promoting it to most recently
+// used.
 func (c *planCache) Get(k plan.CacheKey) (plan.Plan, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	el, ok := c.entries[k]
 	if !ok {
-		c.misses++
 		return plan.Plan{}, false
 	}
-	c.hits++
 	c.order.MoveToFront(el)
 	return el.Value.(*cacheEntry).plan, true
 }
 
-func (c *planCache) Put(k plan.CacheKey, p plan.Plan) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+// Put inserts-or-refreshes k and reports how many entries were evicted
+// to stay within capacity.
+func (c *planCache) Put(k plan.CacheKey, p plan.Plan) (evicted int) {
 	if el, ok := c.entries[k]; ok {
 		el.Value.(*cacheEntry).plan = p
 		c.order.MoveToFront(el)
-		return
+		return 0
 	}
 	c.entries[k] = c.order.PushFront(&cacheEntry{key: k, plan: p})
 	for c.order.Len() > c.cap {
 		last := c.order.Back()
 		c.order.Remove(last)
 		delete(c.entries, last.Value.(*cacheEntry).key)
-		c.evictions++
+		evicted++
 	}
+	return evicted
 }
 
-// snapshot returns the cumulative counters and current entry count.
-func (c *planCache) snapshot() (hits, misses, evictions int64, entries int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses, c.evictions, c.order.Len()
-}
+// Len is the current population.
+func (c *planCache) Len() int { return c.order.Len() }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"cacqr/internal/obs"
 	"cacqr/internal/plan"
 )
 
@@ -54,6 +55,7 @@ func (s *Server) DoFused(ctx context.Context, req plan.Request, payload any, lea
 	}
 	defer s.wg.Done()
 	start := time.Now()
+	sp := obs.FromContext(ctx)
 	key := plan.KeyFor(req)
 
 	s.mu.Lock()
@@ -62,11 +64,14 @@ func (s *Server) DoFused(ctx context.Context, req plan.Request, payload any, lea
 		idx := len(g.payloads)
 		g.payloads = append(g.payloads, payload)
 		s.mu.Unlock()
+		js := sp.Stage("fuse-join")
 		select {
 		case <-g.done:
 		case <-ctx.Done():
+			js.End()
 			return plan.Plan{}, false, ctx.Err()
 		}
+		js.End()
 		s.observe(key, time.Since(start), 1)
 		if g.err != nil {
 			return plan.Plan{}, false, g.err
@@ -92,9 +97,14 @@ func (s *Server) DoFused(ctx context.Context, req plan.Request, payload any, lea
 
 	// One plan resolution for the group (no second window — the fuse
 	// window already played that role), then one fused execution.
+	ps := sp.Stage("plan")
 	g.plan, g.hit, g.err = s.resolve(ctx, key, req, int64(n), false)
+	ps.SetBool("cache_hit", g.hit)
+	ps.End()
 	if g.err == nil {
+		gs := sp.Stage("gate")
 		held, gerr := s.gate.acquire(ctx, g.plan.Procs)
+		gs.End()
 		if gerr != nil {
 			g.err = gerr
 		} else {

@@ -22,6 +22,12 @@
 // and gates, while the caller (cacqr.Server) supplies the executor that
 // runs a plan against actual data. That keeps the dependency direction
 // internal/serve → internal/plan with no cycle through the root package.
+//
+// All request-level counters — lookups, hits, misses, leads, batch
+// joins, evictions — live under ONE mutex with the cache itself, and
+// Stats reads them in one acquisition, so the invariants
+// Lookups == Hits + Misses and Misses == Batched + Leads hold in every
+// snapshot, concurrent traffic or not.
 package serve
 
 import (
@@ -32,6 +38,7 @@ import (
 	"time"
 
 	"cacqr/internal/hist"
+	"cacqr/internal/obs"
 	"cacqr/internal/plan"
 )
 
@@ -91,19 +98,27 @@ type Config struct {
 	Plan func(plan.Request) (plan.Plan, error)
 }
 
-// Stats is a snapshot of a Server's counters.
+// Stats is a snapshot of a Server's counters. All request-level
+// counters are read under one lock acquisition, so the invariants
+// Lookups == Hits + Misses and Misses == Batched + Leads hold in every
+// snapshot.
 type Stats struct {
 	// Requests is the number of request units admitted (a DoBatch of n
 	// counts n).
 	Requests int64
-	// Hits and Misses count plan-cache lookups; Evictions counts LRU
-	// evictions; Entries is the current cache population.
-	Hits, Misses, Evictions int64
-	Entries                 int
-	// Planned counts actual planner invocations; Batched counts
-	// requests that shared an in-flight lookup instead of planning
-	// (Misses = Planned + Batched when no plan call failed).
-	Planned, Batched int64
+	// Lookups counts plan-resolution attempts in request units; every
+	// unit is either a Hit (the plan came from the cache) or a Miss.
+	// Misses split into Batched units (joined an in-flight same-key
+	// lookup) and Leads units (led a fresh planner run). Evictions
+	// counts LRU evictions; Entries is the current cache population.
+	Lookups, Hits, Misses int64
+	Evictions             int64
+	Entries               int
+	// Planned counts actual planner invocations (one per lead,
+	// regardless of how many units the lead carried); Batched counts
+	// units that shared an in-flight lookup instead of planning; Leads
+	// counts the units carried by leads.
+	Planned, Batched, Leads int64
 	// InFlightRanks is the number of simulated-rank tokens currently
 	// held by executing requests; RankBudget is the bound.
 	InFlightRanks, RankBudget int
@@ -114,8 +129,10 @@ type Stats struct {
 	Pending, MaxPending int
 	// FusedBatches counts fused executions (DoBatch calls plus sealed
 	// DoFused groups); FusedRequests counts the request units they
-	// carried.
+	// carried; FuseOccupancy is the payloads currently waiting in open
+	// (unsealed) fuse windows.
 	FusedBatches, FusedRequests int64
+	FuseOccupancy               int
 	// Latencies maps plan.CacheKey strings to per-key latency quantiles
 	// over the most recent LatencyWindow observations.
 	Latencies map[string]hist.Summary
@@ -133,23 +150,27 @@ func (s Stats) HitRate() float64 {
 // Server is the concurrency-safe plan-caching service. Create with New,
 // submit with Do, retire with Close.
 type Server struct {
-	cfg   Config
-	cache *planCache
-	gate  *rankGate
-	adm   *admission
+	cfg  Config
+	gate *rankGate
+	adm  *admission
 
+	// mu guards the cache, the request-level counters, the latency
+	// histogram map, and the inflight/fusing maps — one lock, so Stats
+	// snapshots are internally consistent.
 	mu       sync.Mutex
+	cache    *planCache
 	closed   bool
 	closing  chan struct{} // closed by Close; wakes batch/fuse windows
 	inflight map[plan.CacheKey]*batch
 	fusing   map[plan.CacheKey]*fuseGroup
 	wg       sync.WaitGroup
 
-	requests, planned, batched  int64
+	requests                    int64
+	lookups, hits, misses       int64
+	evictions                   int64
+	planned, batched, leads     int64
 	fusedBatches, fusedRequests int64
-
-	histMu sync.Mutex
-	hists  map[string]*hist.Window
+	hists                       map[string]*hist.Window
 }
 
 // batch is one in-flight plan lookup that same-key requests share.
@@ -198,8 +219,9 @@ func New(cfg Config) *Server {
 // exec's error. Requests past the pending bound are refused with
 // ErrOverloaded. ctx cancellation unblocks every wait on the way in —
 // batch-window joins and the rank gate — and is the executor's to honor
-// once exec starts (nil ctx = context.Background()). Safe for arbitrary
-// concurrent use.
+// once exec starts (nil ctx = context.Background()). A span carried on
+// ctx (obs.FromContext) gets "plan" and "gate" stage children; without
+// one, the instrumentation is free. Safe for arbitrary concurrent use.
 func (s *Server) Do(ctx context.Context, req plan.Request, exec func(plan.Plan) error) (plan.Plan, bool, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -213,14 +235,20 @@ func (s *Server) Do(ctx context.Context, req plan.Request, exec func(plan.Plan) 
 	}
 	defer s.wg.Done()
 	start := time.Now()
+	sp := obs.FromContext(ctx)
 
 	key := plan.KeyFor(req)
+	ps := sp.Stage("plan")
 	p, hit, err := s.resolve(ctx, key, req, 1, true)
+	ps.SetBool("cache_hit", hit)
+	ps.End()
 	if err != nil {
 		return plan.Plan{}, false, err
 	}
 	if exec != nil {
+		gs := sp.Stage("gate")
 		held, gerr := s.gate.acquire(ctx, p.Procs)
+		gs.End()
 		if gerr != nil {
 			return plan.Plan{}, false, gerr
 		}
@@ -252,14 +280,20 @@ func (s *Server) DoBatch(ctx context.Context, req plan.Request, n int, exec func
 	}
 	defer s.wg.Done()
 	start := time.Now()
+	sp := obs.FromContext(ctx)
 
 	key := plan.KeyFor(req)
+	ps := sp.Stage("plan")
 	p, hit, err := s.resolve(ctx, key, req, int64(n), false)
+	ps.SetBool("cache_hit", hit)
+	ps.End()
 	if err != nil {
 		return plan.Plan{}, false, err
 	}
 	if exec != nil {
+		gs := sp.Stage("gate")
 		held, gerr := s.gate.acquire(ctx, p.Procs)
+		gs.End()
 		if gerr != nil {
 			return plan.Plan{}, false, gerr
 		}
@@ -295,12 +329,19 @@ func (s *Server) enter(units int64) error {
 // canceled ctx abandons a join wait (the in-flight lookup itself keeps
 // going for its other riders). The boolean reports whether the plan came
 // from cache or a shared lookup.
+//
+// The cache consult and its outcome counters update in ONE critical
+// section, so Lookups == Hits + Misses and Misses == Batched + Leads
+// hold at every instant a Stats snapshot could be taken.
 func (s *Server) resolve(ctx context.Context, key plan.CacheKey, req plan.Request, units int64, wait bool) (plan.Plan, bool, error) {
 	s.mu.Lock()
+	s.lookups += units
 	if p, ok := s.cache.Get(key); ok {
+		s.hits += units
 		s.mu.Unlock()
 		return p, true, nil
 	}
+	s.misses += units
 	if b, joined := s.inflight[key]; joined {
 		// Ride the in-flight lookup.
 		s.batched += units
@@ -319,16 +360,17 @@ func (s *Server) resolve(ctx context.Context, key plan.CacheKey, req plan.Reques
 	// once at the bucket's conservative edge.
 	b := &batch{done: make(chan struct{})}
 	s.inflight[key] = b
+	s.leads += units
 	s.planned++
 	s.mu.Unlock()
 	if wait && s.cfg.BatchWindow > 0 {
 		s.pause(ctx, s.cfg.BatchWindow)
 	}
 	b.plan, b.err = s.cfg.Plan(plan.Bucketed(req))
-	if b.err == nil {
-		s.cache.Put(key, b.plan)
-	}
 	s.mu.Lock()
+	if b.err == nil {
+		s.evictions += int64(s.cache.Put(key, b.plan))
+	}
 	delete(s.inflight, key)
 	s.mu.Unlock()
 	close(b.done)
@@ -349,10 +391,12 @@ func (s *Server) pause(ctx context.Context, d time.Duration) {
 }
 
 // observe records n request latencies of duration d under the key's
-// histogram, creating it on first use (bounded by maxLatencyKeys).
+// histogram, creating it on first use (bounded by maxLatencyKeys). The
+// map is consulted under s.mu; the ring itself has its own lock, so
+// recording does not serialize requests against each other.
 func (s *Server) observe(key plan.CacheKey, d time.Duration, n int) {
 	ks := key.String()
-	s.histMu.Lock()
+	s.mu.Lock()
 	w, ok := s.hists[ks]
 	if !ok {
 		if len(s.hists) >= maxLatencyKeys {
@@ -364,33 +408,41 @@ func (s *Server) observe(key plan.CacheKey, d time.Duration, n int) {
 		w = hist.New(s.cfg.LatencyWindow)
 		s.hists[ks] = w
 	}
-	s.histMu.Unlock()
+	s.mu.Unlock()
 	for i := 0; i < n; i++ {
 		w.Observe(d)
 	}
 }
 
-// Stats snapshots the counters.
+// Stats snapshots the counters. Everything request-level — lookup
+// ledger, cache population, fuse occupancy, latency summaries — is read
+// under one s.mu acquisition, so the documented invariants hold in the
+// returned snapshot.
 func (s *Server) Stats() Stats {
-	hits, misses, evictions, entries := s.cache.snapshot()
 	inFlight, budget := s.gate.usage()
 	pending, maxPending, overloaded := s.adm.usage()
-	s.histMu.Lock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	lat := make(map[string]hist.Summary, len(s.hists))
 	for k, w := range s.hists {
 		lat[k] = w.Summary()
 	}
-	s.histMu.Unlock()
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	occupancy := 0
+	for _, g := range s.fusing {
+		if !g.sealed {
+			occupancy += len(g.payloads)
+		}
+	}
 	return Stats{
 		Requests:      s.requests,
-		Hits:          hits,
-		Misses:        misses,
-		Evictions:     evictions,
-		Entries:       entries,
+		Lookups:       s.lookups,
+		Hits:          s.hits,
+		Misses:        s.misses,
+		Evictions:     s.evictions,
+		Entries:       s.cache.Len(),
 		Planned:       s.planned,
 		Batched:       s.batched,
+		Leads:         s.leads,
 		InFlightRanks: inFlight,
 		RankBudget:    budget,
 		Overloaded:    overloaded,
@@ -398,6 +450,7 @@ func (s *Server) Stats() Stats {
 		MaxPending:    maxPending,
 		FusedBatches:  s.fusedBatches,
 		FusedRequests: s.fusedRequests,
+		FuseOccupancy: occupancy,
 		Latencies:     lat,
 	}
 }

@@ -1,0 +1,48 @@
+package cacqr
+
+// The public face of internal/obs: type aliases so external importers
+// can construct tracers and registries, hand them to ServerOptions, and
+// consume span trees and metric snapshots without reaching into an
+// internal package.
+
+import (
+	"cacqr/internal/obs"
+	"cacqr/internal/plan"
+)
+
+// Tracer samples requests into per-request span trees and aggregates
+// finished trees into a metrics Registry. A nil *Tracer is the disabled
+// tracer: every operation on it no-ops, which is the ~zero-overhead
+// default. Create with NewTracer and hand to Options.Tracer.
+type Tracer = obs.Tracer
+
+// TracerOptions configure NewTracer: sampling rate (trace 1 in
+// SampleEvery requests), how many finished traces to retain for
+// TraceByID, the per-trace span cap, and the Metrics registry the
+// aggregated series land in.
+type TracerOptions = obs.TracerOptions
+
+// Metrics is the counter/gauge/histogram registry behind /metrics:
+// Prometheus text exposition via WritePrometheus, JSON folding via
+// Snapshot.
+type Metrics = obs.Registry
+
+// TraceData is the JSON-ready span tree of one retained trace, served
+// by cacqrd's /v1/trace/{id}.
+type TraceData = obs.TraceData
+
+// SpanData is one node of a TraceData tree.
+type SpanData = obs.SpanData
+
+// NewTracer builds a Tracer (zero options = sample every request,
+// retain 64 traces, 4096 spans per trace, a fresh Metrics registry).
+func NewTracer(o TracerOptions) *Tracer { return obs.NewTracer(o) }
+
+// NewMetrics builds an empty Metrics registry, for callers that want to
+// share one registry between a Tracer and their own series.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// KappaBucket maps a condition estimate to its per-decade plan-cache
+// bucket — the same bucketing plan keys and the kappa_bucket metric
+// label use, exported so log consumers can group by it.
+func KappaBucket(cond float64) int { return plan.KappaBucket(cond) }

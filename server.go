@@ -2,12 +2,15 @@ package cacqr
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
 	"cacqr/internal/core"
 	"cacqr/internal/lin"
+	"cacqr/internal/obs"
 	"cacqr/internal/plan"
 	"cacqr/internal/serve"
 )
@@ -116,6 +119,11 @@ type SubmitResult struct {
 	// Stats is the run's per-processor cost: measured from the simulated
 	// run for per-request execution, analytic for fused batches.
 	Stats CostStats
+	// TraceID identifies this request's span tree when the server's
+	// Options.Tracer sampled it — retrievable via Tracer.Get (or
+	// cacqrd's /v1/trace/{id}) while the trace stays in the retention
+	// ring. Empty when tracing is off or the request was not sampled.
+	TraceID string
 }
 
 // BatchItem is one request's outcome within SubmitBatch: exactly one of
@@ -170,18 +178,49 @@ func (s *Server) Submit(req SubmitRequest) (*SubmitResult, error) {
 // SubmitCtx is Submit with request-scoped cancellation: a canceled ctx
 // unblocks the serve layer's waits (batch windows, the rank gate) and
 // aborts an in-flight distributed run — simulated ranks or TCP workers
-// alike — returning the context's error.
+// alike — returning the context's error. When the server's
+// Options.Tracer samples the request, the whole path records a span
+// tree (condest → plan → gate → execute → per-rank kernel stages and
+// collectives) retrievable by the result's TraceID.
 func (s *Server) SubmitCtx(ctx context.Context, req SubmitRequest) (*SubmitResult, error) {
+	tr, ctx := s.opts.Options.Tracer.Start(ctx, "factorize")
+	res, err := s.submit(ctx, req)
+	if res != nil {
+		res.TraceID = tr.ID()
+		if root := tr.Root(); root != nil && res.Plan != nil {
+			root.SetStr("variant", string(res.Plan.Variant))
+			root.SetBool("cache_hit", res.PlanCacheHit)
+		}
+	}
+	s.countRequest(req, res, err)
+	tr.Finish()
+	return res, err
+}
+
+// submit is the body of SubmitCtx, running under an already-started (or
+// absent) trace carried on ctx.
+func (s *Server) submit(ctx context.Context, req SubmitRequest) (*SubmitResult, error) {
+	sp := obs.FromContext(ctx)
+	cs := sp.Stage("condest")
 	preq, cond, err := s.prepare(req)
+	cs.SetFloat("kappa", cond)
+	cs.End()
 	if err != nil {
 		return nil, err
+	}
+	if root := obs.FromContext(ctx); root != nil {
+		root.SetInt("m", int64(req.A.Rows))
+		root.SetInt("n", int64(req.A.Cols))
+		root.SetInt("kappa_bucket", int64(plan.KappaBucket(cond)))
 	}
 	if s.opts.FuseWindow > 0 {
 		return s.submitFused(ctx, preq, req, cond)
 	}
 	out := &SubmitResult{CondEst: cond}
 	pl, hit, err := s.inner.Do(ctx, preq, func(p plan.Plan) error {
-		res, err := FactorizePlan(req.A, p, s.execOptions(ctx))
+		es := sp.Stage("execute")
+		defer es.End()
+		res, err := FactorizePlan(req.A, p, s.execOptions(obs.ContextWith(ctx, es)))
 		if err != nil {
 			return err
 		}
@@ -199,6 +238,40 @@ func (s *Server) SubmitCtx(ctx context.Context, req SubmitRequest) (*SubmitResul
 		out.Plan = &pl
 	}
 	return out, nil
+}
+
+// countRequest folds one finished request into the Tracer registry's
+// cacqr_requests_total series — every request, sampled into a trace or
+// not, so the counters stay exact however aggressive the sampling. A
+// server without a tracer (or a tracer without metrics) pays a nil
+// check.
+func (s *Server) countRequest(req SubmitRequest, res *SubmitResult, err error) {
+	m := s.opts.Options.Tracer.Metrics()
+	if m == nil {
+		return
+	}
+	variant, hit, bucket := "unknown", false, "unknown"
+	if res != nil {
+		if res.Plan != nil {
+			variant = string(res.Plan.Variant)
+		}
+		hit = res.PlanCacheHit
+		bucket = strconv.Itoa(plan.KappaBucket(res.CondEst))
+	} else if req.CondEst != 0 {
+		bucket = strconv.Itoa(plan.KappaBucket(req.CondEst))
+	}
+	outcome := "ok"
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		outcome = "overloaded"
+	case err != nil:
+		outcome = "error"
+	}
+	m.Counter("cacqr_requests_total", "Requests by plan variant, κ-bucket, cache outcome, and result.",
+		obs.L("variant", variant),
+		obs.L("kappa_bucket", bucket),
+		obs.L("cache_hit", strconv.FormatBool(hit)),
+		obs.L("outcome", outcome)).Add(1)
 }
 
 // prepare validates one request and resolves its planner request: the
@@ -253,11 +326,14 @@ func (s *Server) execOptions(ctx context.Context) Options {
 func (s *Server) submitFused(ctx context.Context, preq plan.Request, req SubmitRequest, cond float64) (*SubmitResult, error) {
 	job := &submitJob{req: req, out: &SubmitResult{CondEst: cond}}
 	pl, hit, err := s.inner.DoFused(ctx, preq, job, func(p plan.Plan, payloads []any) []error {
+		es := obs.FromContext(ctx).Stage("execute")
+		defer es.End()
+		es.SetInt("fused_payloads", int64(len(payloads)))
 		jobs := make([]*submitJob, len(payloads))
 		for i, pay := range payloads {
 			jobs[i] = pay.(*submitJob)
 		}
-		s.execGroup(ctx, p, jobs)
+		s.execGroup(obs.ContextWith(ctx, es), p, jobs)
 		errs := make([]error, len(jobs))
 		for i, j := range jobs {
 			errs[i] = j.err
@@ -302,6 +378,7 @@ func (s *Server) SubmitBatchCtx(ctx context.Context, reqs []SubmitRequest) []Bat
 		preq, cond, err := s.prepare(reqs[i])
 		if err != nil {
 			items[i].Err = err
+			s.countRequest(reqs[i], nil, err)
 			continue
 		}
 		key := plan.KeyFor(preq)
@@ -337,6 +414,7 @@ func (s *Server) SubmitBatchCtx(ctx context.Context, reqs []SubmitRequest) []Bat
 					}
 					items[i].Result = job.out
 				}
+				s.countRequest(job.req, items[i].Result, items[i].Err)
 			}
 		}(g)
 	}
