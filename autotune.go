@@ -26,6 +26,7 @@ const (
 	VariantTSQR        = plan.TSQR
 	VariantShiftedCQR3 = plan.ShiftedCQR3
 	VariantPGEQRF      = plan.PGEQRF
+	VariantStreamTSQR  = plan.StreamTSQR
 )
 
 // condEstIters bounds the power-iteration condition estimator
@@ -145,6 +146,18 @@ func dispatch(a *Dense, p Plan, opts Options) (*Result, error) {
 		return FactorizeTSQR(a, p.Procs, p.PanelWidth, opts)
 	case plan.PGEQRF:
 		return FactorizePGEQRF(a, p.D, p.C, p.PanelWidth, opts)
+	case plan.StreamTSQR:
+		// Out-of-core dispatch for an already-in-memory matrix: stream it
+		// panel by panel anyway, so peak *additional* memory stays at one
+		// panel plus the R-chain and the budget the planner honored is
+		// respected by the execution too.
+		opts.PanelRows = p.PanelWidth
+		sink := SinkToDense()
+		res, err := FactorizeStreaming(SourceFromDense(a), sink, opts)
+		if err != nil {
+			return nil, err
+		}
+		return res, nil
 	default:
 		return nil, fmt.Errorf("cacqr: plan variant %q is not executable", p.Variant)
 	}
@@ -161,6 +174,9 @@ func checkOptions(opts Options) error {
 	}
 	if math.IsNaN(opts.CondEst) || opts.CondEst < 0 {
 		return fmt.Errorf("cacqr: invalid CondEst %g (want ≥ 0; 0 = let AutoFactorize estimate it)", opts.CondEst)
+	}
+	if opts.PanelRows < 0 {
+		return fmt.Errorf("cacqr: negative PanelRows %d (0 = default)", opts.PanelRows)
 	}
 	return nil
 }

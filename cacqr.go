@@ -171,8 +171,16 @@ type Options struct {
 	// MemBudget bounds the planner's modeled per-rank memory footprint
 	// in bytes (0 = unlimited). Consulted only by PlanGrid,
 	// AutoFactorize, and the auto mode of SolveLeastSquares; the
-	// fixed-grid entry points ignore it.
+	// fixed-grid entry points ignore it. When the budget rejects every
+	// in-core variant, the planner falls back to the out-of-core
+	// streaming TSQR rather than failing.
 	MemBudget int64
+	// PanelRows is the row height of the out-of-core streaming panels
+	// (FactorizeStreaming and the planner's stream-tsqr dispatch).
+	// 0 = DefaultPanelRows for direct streaming calls, the planner's
+	// chosen height for dispatched stream plans. Negative values are
+	// rejected; the in-core entry points ignore it.
+	PanelRows int
 	// PlanMachine selects the machine model whose α-β-γ constants rank
 	// the planner's candidates (nil = Stampede2, the paper's primary
 	// platform). Planner-only, like MemBudget.
@@ -239,6 +247,10 @@ type Result struct {
 	// the power-iteration estimator measured. Zero for the fixed-grid
 	// entry points and for FactorizePlan (which trusts the given plan).
 	CondEst float64
+	// Stream reports the out-of-core run's panel schedule and resource
+	// accounting when the factorization streamed (FactorizeStreaming or
+	// a dispatched stream-tsqr plan); nil for in-core runs.
+	Stream *StreamInfo
 }
 
 // FactorizeOnGrid runs CA-CQR2 on a c × d × c grid: the m×n matrix is

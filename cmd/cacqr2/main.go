@@ -13,6 +13,13 @@
 // CholeskyQR2 family onto shifted-cqr3 or tsqr:
 //
 //	cacqr2 -grid auto -m 4096 -n 256 -p 64 [-mem 4000000] [-condest 1e10]
+//
+// With -stream the matrix is factored out-of-core by the streaming
+// TSQR — row panels through CholeskyQR2, R factors merged through a
+// chain of small QRs, Q written in a second pass — and the run reports
+// its peak resident footprint next to what materializing would cost:
+//
+//	cacqr2 -stream -m 262144 -n 64 [-panel-rows 4096]
 package main
 
 import (
@@ -30,6 +37,8 @@ func main() {
 	c := flag.Int("c", 2, "grid parameter c (grid is c x d x c)")
 	d := flag.Int("d", 4, "grid parameter d")
 	gridMode := flag.String("grid", "", `"auto" lets the planner choose variant and grid (ignores -c/-d)`)
+	streamMode := flag.Bool("stream", false, "factor out-of-core with the streaming TSQR instead of a grid (two panel passes; reports peak resident memory)")
+	panelRows := flag.Int("panel-rows", 0, "rows per streamed panel with -stream (0 = default)")
 	procs := flag.Int("p", 16, "processor budget for -grid auto")
 	mem := flag.Int64("mem", 0, "per-rank memory budget in bytes for -grid auto (0 = unlimited)")
 	baselines := flag.Bool("baselines", false, "with -grid auto, rank the PGEQRF baseline as a reference row")
@@ -51,10 +60,14 @@ func main() {
 
 	var res *cacqr.Result
 	var err error
-	switch *gridMode {
-	case "auto":
+	switch {
+	case *streamMode && *gridMode != "":
+		err = fmt.Errorf("-stream is its own mode; drop -grid")
+	case *streamMode:
+		res, err = runStream(a, *panelRows, opts)
+	case *gridMode == "auto":
 		res, err = runAuto(a, *procs, opts)
-	case "":
+	case *gridMode == "":
 		spec := cacqr.GridSpec{C: *c, D: *d}
 		fmt.Printf("CA-CQR2: %d x %d matrix on a %dx%dx%d grid (%d simulated ranks), InverseDepth=%d\n",
 			*m, *n, spec.C, spec.D, spec.C, spec.Procs(), *inv)
@@ -80,8 +93,8 @@ func main() {
 	fmt.Printf("  γ (flops):             %d\n", res.Stats.Flops)
 	fmt.Printf("  virtual time:          %.3g s (generic machine)\n", res.Stats.Time)
 
-	if *gridMode == "auto" {
-		return // the plan table already showed the model's prediction
+	if *gridMode == "auto" || *streamMode {
+		return // the plan table / stream report already showed the model
 	}
 	model, err := cacqr.ModelCACQR2(*m, *n, cacqr.GridSpec{C: *c, D: *d}, opts)
 	if err == nil {
@@ -94,6 +107,31 @@ func main() {
 				s2.Name, nodes, cacqr.PredictGFlopsPerNode(s2, model, *m, *n, nodes))
 		}
 	}
+}
+
+// runStream factors the matrix through the out-of-core streaming TSQR:
+// panel CQR2 factorizations chained through n×n merge QRs, Q written in
+// a second pass. The matrix here is already resident (the CLI built
+// it), so the point of the report is the footprint the same run would
+// have had against a file- or generator-backed source: one panel plus
+// the R-chain instead of m·n words.
+func runStream(a *cacqr.Dense, panelRows int, opts cacqr.Options) (*cacqr.Result, error) {
+	opts.PanelRows = panelRows
+	m, n := a.Rows, a.Cols
+	fmt.Printf("streaming TSQR: %d x %d matrix, out-of-core in row panels\n", m, n)
+	sink := cacqr.SinkToDense()
+	res, err := cacqr.FactorizeStreaming(cacqr.SourceFromDense(a), sink, opts)
+	if err != nil {
+		return nil, err
+	}
+	st := res.Stream
+	fmt.Printf("  panels:         %d × %d rows (%d shifted)\n", st.Panels, st.PanelRows, st.ShiftedPanels)
+	fmt.Printf("  peak resident:  %d bytes (materialized matrix: %d)\n", st.MaxResidentBytes, int64(8*m*n))
+	fmt.Printf("  panel IO:       %d B read, %d B written\n", st.ReadBytes, st.WrittenBytes)
+	if model, err := cacqr.ModelStreamTSQR(m, n, st.PanelRows, true); err == nil {
+		fmt.Printf("  model:          γ=%d flops, %d B of IO\n", model.TotalFlops(), model.IOBytes)
+	}
+	return res, nil
 }
 
 // runAuto estimates κ₂ when no -condest hint was given (the same

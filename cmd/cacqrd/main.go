@@ -15,6 +15,14 @@
 //
 // -max-pending bounds admitted-but-unfinished requests: past it the
 // daemon sheds load with HTTP 503 instead of queueing without bound.
+// -max-elems bounds what one request may hold resident, not what it may
+// ask for: a generator-backed factorization past the bound is served
+// out-of-core through the streaming TSQR under a memory budget of
+// maxElems elements (the response carries "streamed": true with panel
+// accounting, returns R on want_factors, and never returns Q), while an
+// inline-"data" request past it is refused — 413 when the body cap
+// trips, 400 on shape. The body cap always stands, even at
+// -max-elems 0.
 // -fuse-window, when positive, coalesces concurrent same-key requests
 // into one fused batched execution (the streaming form of SubmitBatch).
 //
@@ -60,6 +68,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -88,7 +97,7 @@ func main() {
 		maxPending = flag.Int("max-pending", 0, "pending-request bound before shedding load with 503 (0 = default 1024)")
 		fuseWindow = flag.Duration("fuse-window", 0, "same-key fused-execution window (0 = per-request execution)")
 		mem        = flag.Int64("mem", 0, "per-rank memory budget in bytes (0 = unlimited)")
-		maxElems   = flag.Int64("max-elems", 1<<24, "largest accepted m·n per request (0 = unlimited; guards the daemon against OOM)")
+		maxElems   = flag.Int64("max-elems", 1<<24, "largest m·n a request may hold resident: bigger \"gen\" factorizations are served out-of-core (streamed), bigger inline \"data\" requests are refused (0 = no bound, streaming never engages)")
 		machine    = flag.String("machine", "stampede2", `planning machine ("stampede2" or "bluewaters")`)
 		workers    = flag.Int("workers", 0, "per-rank kernel goroutines (0 = serial)")
 		transport  = flag.String("transport", "sim", `rank transport: "sim" (goroutine ranks) or "tcp" (real worker processes)`)
@@ -280,17 +289,20 @@ func registerServeMetrics(m *cacqr.Metrics, srv *cacqr.Server) {
 
 // request is the wire form of one factorize/solve call.
 type request struct {
-	M    int       `json:"m"`
-	N    int       `json:"n"`
-	Data []float64 `json:"data,omitempty"` // row-major, length m·n
-	Gen  *struct {
-		Seed int64   `json:"seed"`
-		Cond float64 `json:"cond,omitempty"` // >1: prescribed κ₂
-	} `json:"gen,omitempty"`
+	M           int       `json:"m"`
+	N           int       `json:"n"`
+	Data        []float64 `json:"data,omitempty"` // row-major, length m·n
+	Gen         *genSpec  `json:"gen,omitempty"`
 	B           []float64 `json:"b,omitempty"` // solve only
 	Procs       int       `json:"procs,omitempty"`
 	CondEst     float64   `json:"condest,omitempty"`
 	WantFactors bool      `json:"want_factors,omitempty"`
+}
+
+// genSpec asks for the deterministic generator instead of inline data.
+type genSpec struct {
+	Seed int64   `json:"seed"`
+	Cond float64 `json:"cond,omitempty"` // >1: prescribed κ₂
 }
 
 // response is the wire form of the outcome.
@@ -310,6 +322,14 @@ type response struct {
 	X            []float64 `json:"x,omitempty"`
 	Q            []float64 `json:"q,omitempty"`
 	R            []float64 `json:"r,omitempty"`
+	// Out-of-core runs only: the request exceeded -max-elems and was
+	// served by the streaming TSQR instead of being rejected. Q is never
+	// returned for a streamed run (it is as big as the input); R is n×n
+	// and small.
+	Streamed      bool  `json:"streamed,omitempty"`
+	Panels        int   `json:"panels,omitempty"`
+	PanelRows     int   `json:"panel_rows,omitempty"`
+	ResidentBytes int64 `json:"resident_bytes,omitempty"`
 }
 
 // reqSeq numbers generated request IDs within this daemon process.
@@ -325,6 +345,26 @@ func requestID(w http.ResponseWriter, r *http.Request) string {
 	}
 	w.Header().Set("X-Request-Id", id)
 	return id
+}
+
+// defaultBodyCap bounds the request body when -max-elems is 0 and no
+// shape-derived limit exists. 1 GiB of JSON is far past any sane
+// request; the point is that *some* cap always stands between a client
+// and the decoder's allocator.
+const defaultBodyCap = 1 << 30
+
+// bodyCap is the request-body limit handle installs before decoding:
+// the inline-"data" path is ~25 bytes per JSON float, so
+// 32·maxElems (+ slack for "b" and the envelope) caps what one request
+// can make the decoder allocate. With -max-elems 0 there is no shape
+// bound, but the body is still capped at defaultBodyCap — before this
+// existed an unlimited daemon would buffer a body of any size, which is
+// exactly the OOM the flag was meant to guard.
+func bodyCap(maxElems int64) int64 {
+	if maxElems > 0 {
+		return 32*maxElems + 1<<20
+	}
+	return defaultBodyCap
 }
 
 func handle(srv *cacqr.Server, solve bool, maxElems int64, quiet bool) http.HandlerFunc {
@@ -356,17 +396,86 @@ func handle(srv *cacqr.Server, solve bool, maxElems int64, quiet bool) http.Hand
 			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
 			return
 		}
-		if maxElems > 0 {
-			// Bound the body before decoding: the inline-"data" path is
-			// ~25 bytes per JSON float, so 32·maxElems (+ slack for b
-			// and the envelope) caps what one request can make the
-			// decoder allocate.
-			r.Body = http.MaxBytesReader(w, r.Body, 32*maxElems+1<<20)
-		}
+		r.Body = http.MaxBytesReader(w, r.Body, bodyCap(maxElems))
 		var req request
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			code := http.StatusBadRequest
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				code = http.StatusRequestEntityTooLarge
+			}
+			writeError(w, code, fmt.Errorf("bad request body: %w", err))
 			logLine(req, nil, err)
+			return
+		}
+		if maxElems > 0 && req.Gen != nil && req.Data == nil &&
+			req.M >= 1 && req.N >= 1 && int64(req.M) > maxElems/int64(req.N) {
+			// An over--max-elems generator request streams instead of
+			// being rejected: the matrix never needs to be resident, so
+			// the flag's OOM guard is honored by running out-of-core
+			// under a budget of maxElems elements rather than by
+			// refusing the work.
+			if solve {
+				err := fmt.Errorf("shape %dx%d exceeds -max-elems %d and solve cannot stream: x = R⁻¹·Qᵀb needs a pass over Q the streaming path does not keep", req.M, req.N, maxElems)
+				writeError(w, http.StatusBadRequest, err)
+				logLine(req, nil, err)
+				return
+			}
+			if err := checkGenCond(req.Gen.Cond); err != nil {
+				writeError(w, http.StatusBadRequest, err)
+				logLine(req, nil, err)
+				return
+			}
+			if req.Gen.Cond > 1 {
+				err := fmt.Errorf("gen.cond %g needs the exact-κ generator, which materializes the whole %dx%d matrix — beyond -max-elems %d; omit cond (or set ≤ 1) for streamable generation", req.Gen.Cond, req.M, req.N, maxElems)
+				writeError(w, http.StatusBadRequest, err)
+				logLine(req, nil, err)
+				return
+			}
+			src, err := cacqr.SourceFromGenerator(req.M, req.N, req.Gen.Seed)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, err)
+				logLine(req, nil, err)
+				return
+			}
+			res, err := srv.SubmitStreamCtx(r.Context(), cacqr.StreamRequest{
+				Source:    src,
+				CondEst:   req.CondEst,
+				MemBudget: 8 * maxElems,
+			})
+			logLine(req, res, err)
+			if err != nil {
+				code := http.StatusUnprocessableEntity
+				if errors.Is(err, cacqr.ErrOverloaded) {
+					code = http.StatusServiceUnavailable
+				}
+				writeError(w, code, err)
+				return
+			}
+			out := response{
+				Variant:      string(res.Plan.Variant),
+				Grid:         res.Plan.GridString(),
+				Procs:        res.Plan.Procs,
+				PlanCacheHit: res.PlanCacheHit,
+				CondEst:      res.CondEst,
+				Flops:        res.Stats.Flops,
+				Bytes:        res.Stats.Bytes,
+				SimSeconds:   res.Stats.Time,
+				WallSeconds:  time.Since(start).Seconds(),
+				TraceID:      res.TraceID,
+				Streamed:     true,
+			}
+			if res.Stream != nil {
+				out.Panels = res.Stream.Panels
+				out.PanelRows = res.Stream.PanelRows
+				out.ResidentBytes = res.Stream.MaxResidentBytes
+			}
+			if req.WantFactors {
+				// R is n×n and small; Q is as big as the input and is
+				// deliberately never returned for a streamed run.
+				out.R = res.R.Data
+			}
+			writeJSON(w, http.StatusOK, out)
 			return
 		}
 		a, err := buildMatrix(req, maxElems)
@@ -434,6 +543,9 @@ func buildMatrix(req request, maxElems int64) (*cacqr.Dense, error) {
 	case req.Data != nil:
 		return cacqr.FromData(req.M, req.N, req.Data)
 	case req.Gen != nil:
+		if err := checkGenCond(req.Gen.Cond); err != nil {
+			return nil, err
+		}
 		if req.Gen.Cond > 1 {
 			return cacqr.RandomWithCond(req.M, req.N, req.Gen.Cond, req.Gen.Seed), nil
 		}
@@ -441,6 +553,19 @@ func buildMatrix(req request, maxElems int64) (*cacqr.Dense, error) {
 	default:
 		return nil, fmt.Errorf(`matrix missing: give "data" (row-major, length m·n) or "gen" {"seed","cond"}`)
 	}
+}
+
+// checkGenCond rejects generator condition targets the dispatch above
+// would otherwise misread: NaN, ±Inf, and negative values are not a
+// κ₂ — before this check they silently compared false against "> 1"
+// and fell through to the unconditioned generator, returning a matrix
+// the caller did not ask for. Zero (omitted) and values in [0, 1] mean
+// "no target": κ₂ ≥ 1 always, so plain RandomMatrix serves those.
+func checkGenCond(cond float64) error {
+	if math.IsNaN(cond) || math.IsInf(cond, 0) || cond < 0 {
+		return fmt.Errorf("invalid gen.cond %g (want a finite target κ ≥ 1, or 0/omitted for an unconditioned random matrix)", cond)
+	}
+	return nil
 }
 
 // statsJSON flattens ServerStats for the wire, adding the derived rate.

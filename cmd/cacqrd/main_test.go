@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"io"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -316,4 +317,179 @@ func TestStatsCarriesMetricsSnapshot(t *testing.T) {
 	if !found {
 		t.Fatalf("metrics snapshot lacks cacqr_requests_total series: %v", metrics)
 	}
+}
+
+// The body cap must always stand: shape-derived when -max-elems bounds
+// the resident set, the 1 GiB default when the daemon is "unlimited".
+// Before the fix, -max-elems 0 installed no MaxBytesReader at all.
+func TestBodyCapAlwaysInstalled(t *testing.T) {
+	if got := bodyCap(1 << 24); got != 32*(1<<24)+1<<20 {
+		t.Fatalf("bounded cap = %d", got)
+	}
+	if got := bodyCap(0); got != defaultBodyCap {
+		t.Fatalf("unlimited daemon cap = %d, want defaultBodyCap %d", got, defaultBodyCap)
+	}
+}
+
+// A body past the cap is a clean 413, not a generic 400 or a decoder
+// left to allocate without bound.
+func TestOversizedBodyIs413(t *testing.T) {
+	srv, err := cacqr.NewServer(cacqr.ServerOptions{Procs: 4, BatchWindow: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	const maxElems = 4 // cap = 128 B + 1 MiB
+	ts := httptest.NewServer(buildMux(srv, nil, maxElems, true))
+	t.Cleanup(ts.Close)
+
+	// Leading whitespace forces the decoder to read through the whole
+	// body before the value; the cap must trip first.
+	big := bytes.Repeat([]byte(" "), int(bodyCap(maxElems))+4096)
+	copy(big[len(big)-40:], `{"m":2,"n":2,"gen":{"seed":1}}`)
+	resp, err := http.Post(ts.URL+"/v1/factorize", "application/json", bytes.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body returned %d, want 413", resp.StatusCode)
+	}
+}
+
+// Non-finite and negative gen.cond are 400s. Before the fix they
+// compared false against "> 1" and silently produced an unconditioned
+// random matrix the caller never asked for.
+func TestGenCondValidation(t *testing.T) {
+	for _, cond := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), -3} {
+		if _, err := buildMatrix(request{M: 64, N: 4, Gen: &genSpec{Seed: 1, Cond: cond}}, 1<<24); err == nil {
+			t.Errorf("gen.cond %g accepted", cond)
+		}
+	}
+	// 0 (omitted) and targets ≥ 1 stay valid.
+	for _, cond := range []float64{0, 1, 1e6} {
+		if _, err := buildMatrix(request{M: 64, N: 4, Gen: &genSpec{Seed: 1, Cond: cond}}, 1<<24); err != nil {
+			t.Errorf("gen.cond %g rejected: %v", cond, err)
+		}
+	}
+
+	// Over the wire: a negative cond is a 400 (NaN is not JSON).
+	ts := newTestDaemon(t)
+	resp, out := postFactorize(t, ts, map[string]any{
+		"m": 64, "n": 4, "gen": map[string]any{"seed": 1, "cond": -5},
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative cond returned %d (%v), want 400", resp.StatusCode, out)
+	}
+}
+
+// An over--max-elems generator request is served out-of-core: the
+// daemon streams it under a budget of maxElems elements instead of
+// rejecting it, and the answer matches the in-core factorization.
+func TestOverLimitGenStreams(t *testing.T) {
+	srv, err := cacqr.NewServer(cacqr.ServerOptions{Procs: 4, BatchWindow: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	const maxElems = 1 << 16
+	ts := httptest.NewServer(buildMux(srv, nil, maxElems, true))
+	t.Cleanup(ts.Close)
+
+	const m, n, seed = 16384, 8, 42 // m·n = 2·maxElems
+	resp, out := postFactorize(t, ts, map[string]any{
+		"m": m, "n": n, "gen": map[string]any{"seed": seed}, "want_factors": true,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("over-limit gen returned %d: %v", resp.StatusCode, out)
+	}
+	if out["streamed"] != true {
+		t.Fatalf("response not marked streamed: %v", out)
+	}
+	if v, _ := out["variant"].(string); v != string(cacqr.VariantStreamTSQR) {
+		t.Fatalf("variant = %q, want stream-tsqr", v)
+	}
+	if p, _ := out["panels"].(float64); p < 2 {
+		t.Fatalf("panels = %v, want a real panel schedule", out["panels"])
+	}
+	resident, _ := out["resident_bytes"].(float64)
+	if resident <= 0 || int64(resident) > 8*maxElems {
+		t.Fatalf("resident_bytes = %v, want within the %d B budget", resident, 8*maxElems)
+	}
+	if _, hasQ := out["q"]; hasQ {
+		t.Fatal("streamed response returned a Q")
+	}
+	rVals, _ := out["r"].([]any)
+	if len(rVals) != n*n {
+		t.Fatalf("streamed R has %d values, want %d", len(rVals), n*n)
+	}
+	_, rRef, err := cacqr.CholeskyQR2(cacqr.RandomMatrix(m, n, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range rVals {
+		if d := math.Abs(v.(float64) - rRef.Data[i]); d > 1e-13*float64(m) {
+			t.Fatalf("R[%d] off by %g", i, d)
+		}
+	}
+
+	// Same key again: the stream plan must come from the cache.
+	resp2, out2 := postFactorize(t, ts, map[string]any{
+		"m": m, "n": n, "gen": map[string]any{"seed": seed},
+	})
+	if resp2.StatusCode != http.StatusOK || out2["plan_cache_hit"] != true {
+		t.Fatalf("repeat streamed request: status %d, cache hit %v", resp2.StatusCode, out2["plan_cache_hit"])
+	}
+}
+
+// The streaming route has hard edges that stay 400s: inline data past
+// the bound (the body IS the matrix), solves (need a pass over Q), and
+// exact-κ generation (materializes the whole matrix).
+func TestOverLimitRejections(t *testing.T) {
+	srv, err := cacqr.NewServer(cacqr.ServerOptions{Procs: 4, BatchWindow: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	const maxElems = 1 << 10
+	mux := buildMux(srv, nil, maxElems, true)
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+
+	post := func(path string, body map[string]any) int {
+		t.Helper()
+		b, _ := json.Marshal(body)
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	over := map[string]any{"m": 4096, "n": 8} // 32768 > 1024
+	data := make([]float64, 64)               // wrong length is fine: shape check fires first
+	if code := post("/v1/factorize", merge(over, "data", data)); code != http.StatusBadRequest {
+		t.Errorf("over-limit inline data: %d, want 400", code)
+	}
+	if code := post("/v1/solve", merge(over, "gen", map[string]any{"seed": 1}, "b", make([]float64, 4096))); code != http.StatusBadRequest {
+		t.Errorf("over-limit solve: %d, want 400", code)
+	}
+	if code := post("/v1/factorize", merge(over, "gen", map[string]any{"seed": 1, "cond": 1e8})); code != http.StatusBadRequest {
+		t.Errorf("over-limit exact-κ gen: %d, want 400", code)
+	}
+	if code := post("/v1/factorize", merge(over, "gen", map[string]any{"seed": 1, "cond": -2})); code != http.StatusBadRequest {
+		t.Errorf("over-limit negative cond: %d, want 400", code)
+	}
+}
+
+func merge(base map[string]any, kv ...any) map[string]any {
+	out := map[string]any{}
+	for k, v := range base {
+		out[k] = v
+	}
+	for i := 0; i < len(kv); i += 2 {
+		out[kv[i].(string)] = kv[i+1]
+	}
+	return out
 }

@@ -37,25 +37,39 @@ type Cost struct {
 	// PanelFlops is the memory-bound vector class inside Householder
 	// panel factorizations.
 	PanelFlops int64
+	// IOOps is the disk tier's latency class: sequential I/O operations
+	// (panel reads/writes) on the critical path, each paying the
+	// machine's δ seek-plus-dispatch latency. Zero for every in-core
+	// algorithm; only the out-of-core streaming variants charge it.
+	IOOps int64
+	// IOBytes is the disk tier's bandwidth class: bytes streamed to or
+	// from storage, paid at the machine's disk bandwidth.
+	IOBytes int64
 }
 
 // Add accumulates o into c.
 func (c Cost) Add(o Cost) Cost {
 	return Cost{c.Msgs + o.Msgs, c.Words + o.Words,
-		c.Flops + o.Flops, c.UpdateFlops + o.UpdateFlops, c.PanelFlops + o.PanelFlops}
+		c.Flops + o.Flops, c.UpdateFlops + o.UpdateFlops, c.PanelFlops + o.PanelFlops,
+		c.IOOps + o.IOOps, c.IOBytes + o.IOBytes}
 }
 
 // Scale multiplies every component by k.
 func (c Cost) Scale(k int64) Cost {
-	return Cost{k * c.Msgs, k * c.Words, k * c.Flops, k * c.UpdateFlops, k * c.PanelFlops}
+	return Cost{k * c.Msgs, k * c.Words, k * c.Flops, k * c.UpdateFlops, k * c.PanelFlops,
+		k * c.IOOps, k * c.IOBytes}
 }
 
 // TotalFlops returns all flop classes combined.
 func (c Cost) TotalFlops() int64 { return c.Flops + c.UpdateFlops + c.PanelFlops }
 
 func (c Cost) String() string {
-	return fmt.Sprintf("Cost{α:%d β:%d γ:%d γ_upd:%d γ_panel:%d}",
+	s := fmt.Sprintf("Cost{α:%d β:%d γ:%d γ_upd:%d γ_panel:%d",
 		c.Msgs, c.Words, c.Flops, c.UpdateFlops, c.PanelFlops)
+	if c.IOOps != 0 || c.IOBytes != 0 {
+		s += fmt.Sprintf(" io:%d ioB:%d", c.IOOps, c.IOBytes)
+	}
+	return s + "}"
 }
 
 // log2Ceil mirrors simmpi's ⌈log₂ p⌉.

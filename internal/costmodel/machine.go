@@ -32,6 +32,16 @@ type Machine struct {
 	// the paper's §IV observes CholeskyQR2 running at a 2–4× higher
 	// fraction of peak than PGEQRF).
 	PanelEff float64
+	// DeltaSec is the disk tier's per-I/O-operation latency in seconds
+	// (seek plus dispatch of one sequential panel read/write against the
+	// parallel filesystem). Only the out-of-core streaming variants
+	// charge this class; a machine specified without a disk tier (0)
+	// simply prices I/O latency as free.
+	DeltaSec float64
+	// DiskBandwidth is the per-process sustained sequential bandwidth to
+	// storage in bytes/second. 0 means "no disk tier modeled": IOBytes
+	// are then priced as free rather than dividing by zero.
+	DiskBandwidth float64
 }
 
 // Stampede2 is the TACC KNL system: 4200 nodes, >3 Tflop/s/node, Intel
@@ -48,6 +58,10 @@ var Stampede2 = Machine{
 	GemmEff:       0.50,
 	UpdateEff:     0.10,
 	PanelEff:      0.010,
+	// Lustre /scratch: ~ms-class dispatch latency per panel-sized
+	// sequential read, ~2 GB/s sustained per process when streaming.
+	DeltaSec:      1e-3,
+	DiskBandwidth: 2e9,
 }
 
 // BlueWaters is the NCSA Cray XE system: 313 Gflop/s XE nodes, Gemini 3D
@@ -62,6 +76,10 @@ var BlueWaters = Machine{
 	GemmEff:       0.45,
 	UpdateEff:     0.30,
 	PanelEff:      0.030,
+	// The older Sonexion scratch: similar latency class, about half
+	// Stampede2's streaming bandwidth per process.
+	DeltaSec:      1e-3,
+	DiskBandwidth: 1e9,
 }
 
 // BetaSec is the per-word (8-byte) transfer time per process: node
@@ -87,13 +105,20 @@ func (m Machine) GammaPanelSec() float64 {
 	return float64(m.PPN) / (m.PeakNodeFlops * m.PanelEff)
 }
 
-// Time converts a critical-path cost into seconds on this machine.
+// Time converts a critical-path cost into seconds on this machine,
+// including the disk tier's δ-latency and bandwidth terms when the
+// machine models one.
 func (m Machine) Time(c Cost) float64 {
-	return float64(c.Msgs)*m.AlphaSec +
+	t := float64(c.Msgs)*m.AlphaSec +
 		float64(c.Words)*m.BetaSec() +
 		float64(c.Flops)*m.GammaSec() +
 		float64(c.UpdateFlops)*m.GammaUpdateSec() +
-		float64(c.PanelFlops)*m.GammaPanelSec()
+		float64(c.PanelFlops)*m.GammaPanelSec() +
+		float64(c.IOOps)*m.DeltaSec
+	if m.DiskBandwidth > 0 {
+		t += float64(c.IOBytes) / m.DiskBandwidth
+	}
+	return t
 }
 
 // GFlopsPerNode converts a cost into the paper's reported metric: the

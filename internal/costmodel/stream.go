@@ -1,0 +1,122 @@
+package costmodel
+
+import "fmt"
+
+// Out-of-core sequential TSQR (Demmel–Grigori–Hoemmen–Langou, arXiv
+// 0809.2407 §4 / 0808.2664): the tall matrix is streamed as row panels
+// of panelRows×n, each factored in core, with the n×n R factors merged
+// through a left-deep chain of small stacked QRs. Only one panel plus
+// the R-reduction chain is resident, so the footprint is Θ(b·n + k·n²)
+// words instead of Θ(m·n) — the algorithm the planner routes to when no
+// in-core variant fits the memory budget. The charges here mirror
+// internal/stream's driver arithmetically, panel by panel, the same
+// contract the in-core rows keep with simmpi's measured counters.
+
+// streamSchedule is the panel decomposition shared by the cost and
+// memory models and (by construction) the stream driver: ⌊m/b⌋ full
+// panels plus one remainder panel. A remainder shorter than n cannot be
+// panel-factored to an n×n R; the driver merges it raw via one
+// (n+rem)×n stacked Householder QR.
+func streamSchedule(m, n, b int) (full, rem int, err error) {
+	if m < 1 || n < 1 || m < n {
+		return 0, 0, fmt.Errorf("costmodel: stream shape %dx%d (need m ≥ n ≥ 1)", m, n)
+	}
+	if b < n {
+		return 0, 0, fmt.Errorf("costmodel: stream panel rows %d < n=%d", b, n)
+	}
+	if b > m {
+		b = m
+	}
+	return m / b, m % b, nil
+}
+
+// StreamTSQR prices the out-of-core streaming TSQR of an m×n matrix in
+// panels of panelRows rows on one process: per-panel CholeskyQR2 flops,
+// the R-merge chain's small Householder QRs, and — when writeQ — the
+// coefficient down-sweep plus the second streaming pass that re-reads
+// the panels and writes the explicit Q. I/O is charged on the disk
+// tier: one IOOp per panel touch and 8·m·n IOBytes per full pass over
+// the matrix (one read pass for R only; two reads and one write when Q
+// is written back). No communication: α = β = 0.
+func StreamTSQR(m, n, panelRows int, writeQ bool) (Cost, error) {
+	full, rem, err := streamSchedule(m, n, panelRows)
+	if err != nil {
+		return Cost{}, err
+	}
+	nn := int64(n)
+	b := int64(panelRows)
+	if b > int64(m) {
+		b = int64(m)
+	}
+	cqr2 := func(r int64) int64 { return 4*r*nn*nn + 5*nn*nn*nn/3 }
+	hqr := func(r int64) int64 { return 2*r*nn*nn - 2*nn*nn*nn/3 }
+	gemm := func(r int64) int64 { return 2 * r * nn * nn }
+
+	panels := int64(full)
+	qrPanels := int64(full) // panels that get their own CholeskyQR2
+	var c Cost
+	c.Flops += qrPanels * cqr2(b)
+	if rem > 0 {
+		panels++
+		if rem >= n {
+			qrPanels++
+			c.Flops += cqr2(int64(rem))
+		} else {
+			c.Flops += hqr(nn + int64(rem)) // raw merge of the short tail
+		}
+	}
+	if qrPanels > 1 {
+		c.Flops += (qrPanels - 1) * hqr(2*nn) // R-merge chain
+	}
+	bytesPerPass := 8 * int64(m) * nn
+	c.IOOps += panels
+	c.IOBytes += bytesPerPass
+	if writeQ {
+		// Coefficient down-sweep: two n×n GEMMs per chain node (the raw
+		// node's bottom block is rem×n).
+		if qrPanels > 1 {
+			c.Flops += (qrPanels - 1) * 2 * gemm(nn)
+		}
+		if rem > 0 && rem < n {
+			c.Flops += gemm(int64(rem)) + gemm(nn)
+		}
+		// Second pass: re-read each panel, recompute its Q, apply the
+		// n×n coefficient, write the Q panel out (the raw tail's rows
+		// were already produced by the down-sweep).
+		c.Flops += int64(full) * (cqr2(b) + gemm(b))
+		if rem >= n {
+			c.Flops += cqr2(int64(rem)) + gemm(int64(rem))
+		}
+		c.IOOps += 2 * panels
+		c.IOBytes += 2 * bytesPerPass
+	}
+	return c, nil
+}
+
+// StreamTSQRMemory returns the modeled peak resident words of the
+// streaming driver: the live panel with its factorization workspace
+// (~4·b·n: panel, its Q, the CholeskyQR clone, the applied output),
+// the R-merge chain's stacked tree factors (≤ 2n² each), the per-panel
+// coefficient blocks of the Q down-sweep (n² each), and the small s/R/
+// stacked workspaces. This is the bound the driver's own accounting is
+// tested against — and the number the planner compares to MemBudget.
+func StreamTSQRMemory(m, n, panelRows int) (int64, error) {
+	full, rem, err := streamSchedule(m, n, panelRows)
+	if err != nil {
+		return 0, err
+	}
+	b := int64(panelRows)
+	if b > int64(m) {
+		b = int64(m)
+	}
+	nn := int64(n)
+	panels := int64(full)
+	if rem > 0 {
+		panels++
+	}
+	tree := int64(0)
+	if panels > 1 {
+		tree = (panels - 1) * 2 * nn * nn
+	}
+	return 4*b*nn + tree + panels*nn*nn + 4*nn*nn, nil
+}

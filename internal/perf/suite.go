@@ -59,6 +59,16 @@ func Suite(quick bool, workers int) []Case {
 	tb := lin.RandomMatrix(sm, sn, 205)
 
 	seqA := cacqr.RandomMatrix(seqM, seqN, 206)
+	// The streaming pair for seq-cqr2: same matrix, factored out-of-core
+	// in m/8 row panels with Q written to a dense sink. Its Flops column
+	// is the stream model's total (panel CQR2s both passes, merge QRs,
+	// down-sweep, Q applies), so the ns/flop of the two rows is directly
+	// comparable.
+	stB := seqM / 8
+	streamCost, err := cacqr.ModelStreamTSQR(seqM, seqN, stB, true)
+	if err != nil {
+		panic("perf: stream model rejected the suite shape: " + err.Error())
+	}
 	d1A := cacqr.RandomMatrix(d1M, d1N, 207)
 	d3A := cacqr.RandomMatrix(d3M, d3N, 208)
 	tsA := cacqr.RandomMatrix(tsM, tsN, 209)
@@ -180,6 +190,21 @@ func Suite(quick bool, workers int) []Case {
 			Flops: lin.CQR2Flops(seqM, seqN),
 			Run: func() (Stats, error) {
 				_, _, err := cacqr.CholeskyQR2(seqA)
+				return Stats{}, err
+			},
+		},
+		{
+			// In-core vs out-of-core at the same shape: this row versus
+			// seq-cqr2 is the streaming tax — two passes over the source,
+			// the R-chain merges, and the panel-Q recomputation — paid for
+			// a peak resident footprint of one panel plus the R-tree
+			// instead of the whole matrix.
+			Name:  nameSz("stream-tsqr", seqM, seqN) + "-b" + itoa(stB),
+			Flops: streamCost.TotalFlops(),
+			Run: func() (Stats, error) {
+				_, err := cacqr.FactorizeStreaming(
+					cacqr.SourceFromDense(seqA), cacqr.SinkToDense(),
+					cacqr.Options{Workers: workers, PanelRows: stB})
 				return Stats{}, err
 			},
 		},

@@ -79,6 +79,17 @@ func Enumerate(req Request) ([]Plan, error) {
 			add(p)
 		}
 	}
+	// Out-of-core fallback: when a finite memory budget rejected every
+	// in-core variant, the streaming TSQR rows — whose footprint is one
+	// panel plus the R-reduction chain, not the whole matrix — are
+	// enumerated. They never compete with in-core rows (2–3 extra passes
+	// over the data on the disk tier always lose), so the routing is
+	// driven purely by MemBudget.
+	if len(plans) == 0 && req.MemBudget > 0 {
+		for _, p := range streamCandidates(req) {
+			add(p)
+		}
+	}
 	if len(plans) == 0 {
 		if rejectedByCond {
 			return nil, fmt.Errorf("plan: no variant meets ‖QᵀQ−I‖ ≤ %g at κ≈%g for %dx%d on ≤%d ranks",
@@ -300,6 +311,35 @@ func blockedTSQRCandidates(req Request) []Plan {
 				Executable: true,
 			})
 		}
+	}
+	return out
+}
+
+// streamCandidates enumerates the out-of-core streaming TSQR on one
+// rank over doubling panel heights b = n, 2n, 4n, … ≤ m. Taller panels
+// amortize the per-panel n³-ish overheads and shorten the R-merge
+// chain, so among the rows that fit the budget the tallest feasible
+// panel ranks cheapest; the memory gate picks the workable ones.
+func streamCandidates(req Request) []Plan {
+	var out []Plan
+	for b := req.N; ; b *= 2 {
+		if b > req.M {
+			break
+		}
+		cost, err := costmodel.StreamTSQR(req.M, req.N, b, true)
+		if err != nil {
+			continue
+		}
+		mem, err := costmodel.StreamTSQRMemory(req.M, req.N, b)
+		if err != nil {
+			continue
+		}
+		out = append(out, Plan{
+			Variant: StreamTSQR, C: 1, D: 1, PanelWidth: b, Procs: 1,
+			Cost: cost, MemWords: mem,
+			Rationale:  fmt.Sprintf("out-of-core: no in-core variant fits the budget; stream %d-row panels, resident ≈ panel + R-chain", b),
+			Executable: true,
+		})
 	}
 	return out
 }

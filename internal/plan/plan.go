@@ -54,6 +54,14 @@ const (
 	// prefers for execution — Best skips baselines — but which
 	// FactorizePlan can now dispatch like any other row.
 	PGEQRF Variant = "pgeqrf"
+	// StreamTSQR is the out-of-core sequential TSQR (internal/stream):
+	// one rank streams row panels of PanelWidth... rows through in-core
+	// CholeskyQR2, merging R factors through a chain of small stacked
+	// QRs, so the resident footprint is one panel plus the chain instead
+	// of the whole matrix. It pays 2–3 full passes over the data on the
+	// disk tier, so the planner enumerates it strictly as a fallback:
+	// only when no in-core variant fits the memory budget.
+	StreamTSQR Variant = "stream-tsqr"
 )
 
 // Request describes one planning problem.
@@ -113,6 +121,9 @@ const eps = lin.Eps
 //     CholeskyQR2's regime — O(ε) while that holds (κ ≲ 1e12 at test
 //     shapes, shrinking slowly with mn), 1 beyond.
 //   - Plain TSQR and PGEQRF (Householder): unconditionally O(ε).
+//   - StreamTSQR: each panel escalates to ShiftedCQR3 on demand and the
+//     R-merge chain is Householder, so the loss tracks ShiftedCQR3's
+//     bound.
 //   - Blocked TSQR (panelWidth > 0): each panel's tree QR is stable,
 //     but the cross-panel BGS2 updates lose orthogonality with the
 //     conditioning — O(ε·κ), the classical reorthogonalized
@@ -144,7 +155,7 @@ func PredictOrthogonality(v Variant, m, n, panelWidth int, cond float64) float64
 		return floor
 	case PGEQRF:
 		return floor
-	case ShiftedCQR3:
+	case ShiftedCQR3, StreamTSQR:
 		shrink := math.Sqrt(11 * float64(m*n+n*(n+1)) * eps)
 		return cqr2Loss(shrink * cond)
 	default: // the plain CholeskyQR2 family
@@ -159,8 +170,10 @@ type Plan struct {
 	// OneD and Sequential; unused for TSQR).
 	C, D int
 	// PanelWidth is the panel width b: the §V subpanel width for
-	// PanelCACQR2, the BGS2 panel width for blocked TSQR rows, and the
-	// ScaLAPACK nb for PGEQRF rows (0 = unblocked).
+	// PanelCACQR2, the BGS2 panel width for blocked TSQR rows, the
+	// ScaLAPACK nb for PGEQRF rows (0 = unblocked), and the panel row
+	// count for StreamTSQR rows (where the "panel" is b×n of rows, not
+	// columns).
 	PanelWidth int
 	// Procs is the number of ranks the plan actually uses: c·d·c for
 	// the grid family, the 1D rank count otherwise.

@@ -1,0 +1,312 @@
+package stream
+
+import (
+	"fmt"
+	"io"
+
+	"cacqr/internal/core"
+	"cacqr/internal/lin"
+)
+
+// Options configures a streaming factorization.
+type Options struct {
+	// PanelRows is the number of rows per in-core panel (must be ≥ n;
+	// clamped to m). This is the knob that trades resident memory for
+	// per-panel efficiency.
+	PanelRows int
+	// Workers bounds the goroutines of the in-core kernels (0 =
+	// GOMAXPROCS, 1 = serial).
+	Workers int
+	// Shifted forces every panel through ShiftedCQR3. When false, each
+	// panel tries CholeskyQR2 first and escalates to ShiftedCQR3 only if
+	// the panel's Gram matrix is not numerically positive definite.
+	Shifted bool
+}
+
+// Result carries the streamed factorization outputs and the driver's
+// own resource accounting. Flops and MaxResidentWords follow the same
+// charging conventions as costmodel.StreamTSQR / StreamTSQRMemory, so
+// the model can be validated against a real run.
+type Result struct {
+	// R is the n×n upper-triangular factor with non-negative diagonal.
+	R *lin.Matrix
+	// Panels is how many row panels the source yielded.
+	Panels int
+	// PanelRows is the (clamped) panel height actually used.
+	PanelRows int
+	// ShiftedPanels counts panels factored via ShiftedCQR3 (forced or
+	// escalated).
+	ShiftedPanels int
+	// Flops is the charged flop count (model conventions: CQR2Flops per
+	// panel, HouseholderQRFlops per merge, GemmFlops for the Q sweep).
+	Flops int64
+	// MaxResidentWords is the peak number of float64 words the driver
+	// held at once — the quantity bounded by costmodel.StreamTSQRMemory.
+	MaxResidentWords int64
+	// ReadBytes / WrittenBytes / IOOps count source reads and sink
+	// writes in the cost model's units (8 bytes per word, one op per
+	// panel touch).
+	ReadBytes    int64
+	WrittenBytes int64
+	IOOps        int64
+}
+
+// accountant tracks the driver's resident float64 words so the peak can
+// be compared against the memory model.
+type accountant struct{ cur, peak int64 }
+
+func (a *accountant) alloc(words int64) {
+	a.cur += words
+	if a.cur > a.peak {
+		a.peak = a.cur
+	}
+}
+
+func (a *accountant) free(words int64) { a.cur -= words }
+
+// chainNode is one merge of the left-deep R-reduction chain: the
+// orthonormal factor of one stacked QR, split into the n×n block that
+// multiplies everything above and the block that multiplies the new
+// panel (n×n normally; rows×n for a raw short panel merged without its
+// own panel QR).
+type chainNode struct {
+	top    *lin.Matrix
+	bottom *lin.Matrix
+	raw    bool
+}
+
+func (nd chainNode) words() int64 {
+	return int64(nd.top.Rows+nd.bottom.Rows) * int64(nd.top.Cols)
+}
+
+// Factorize runs the out-of-core sequential TSQR over src: pass 1
+// streams row panels, factoring each with CholeskyQR2 (escalating to
+// ShiftedCQR3 on ill-conditioning) and merging the n×n R factors
+// through a chain of small stacked Householder QRs. When sink is
+// non-nil, a coefficient down-sweep and a second streaming pass over
+// src reconstruct the explicit Q panel by panel into sink. At no point
+// is more than one panel (plus the O(k·n²) reduction chain) resident.
+func Factorize(src Source, sink Sink, opts Options) (*Result, error) {
+	m, n := src.Dims()
+	if m < 1 || n < 1 || m < n {
+		return nil, fmt.Errorf("stream: shape %dx%d (need m ≥ n ≥ 1)", m, n)
+	}
+	b := opts.PanelRows
+	if b < n {
+		return nil, fmt.Errorf("stream: panel rows %d < n=%d", b, n)
+	}
+	if b > m {
+		b = m
+	}
+
+	res := &Result{PanelRows: b}
+	var acct accountant
+	nn := int64(n)
+
+	// Pass 1: panel QRs and the left-deep R-merge chain.
+	var s *lin.Matrix // running n×n R of everything consumed so far
+	var nodes []chainNode
+	var shifted []bool // per panel; meaningless for raw panels
+	rows := 0
+	for {
+		p, err := src.Next(b)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		res.Panels++
+		res.IOOps++
+		res.ReadBytes += 8 * int64(p.Rows) * nn
+		rows += p.Rows
+		if p.Rows >= n {
+			acct.alloc(4 * int64(p.Rows) * nn)
+			_, r, sh, err := panelQR(p, opts)
+			acct.free(4 * int64(p.Rows) * nn)
+			if err != nil {
+				return nil, fmt.Errorf("stream: panel %d: %w", res.Panels-1, err)
+			}
+			shifted = append(shifted, sh)
+			if sh {
+				res.ShiftedPanels++
+			}
+			res.Flops += chargePanel(p.Rows, n, sh)
+			acct.alloc(nn * nn) // r
+			if s == nil {
+				s = r
+				continue
+			}
+			nd, s2, err := mergeR(s, r, &acct)
+			if err != nil {
+				return nil, err
+			}
+			acct.free(2 * nn * nn) // old s and r absorbed
+			s = s2
+			nd.raw = false
+			nodes = append(nodes, nd)
+			res.Flops += lin.HouseholderQRFlops(2*n, n)
+		} else {
+			// Short panel: no in-core QR is possible, so its raw rows are
+			// merged directly via one (n+rows)×n stacked Householder QR.
+			if s == nil {
+				return nil, fmt.Errorf("stream: first panel has %d < n=%d rows", p.Rows, n)
+			}
+			shifted = append(shifted, false)
+			acct.alloc(int64(p.Rows) * nn)
+			nd, s2, err := mergeR(s, p, &acct)
+			if err != nil {
+				return nil, err
+			}
+			acct.free(nn*nn + int64(p.Rows)*nn) // old s; raw rows absorbed
+			s = s2
+			nd.raw = true
+			nodes = append(nodes, nd)
+			res.Flops += lin.HouseholderQRFlops(n+p.Rows, n)
+		}
+	}
+	if s == nil {
+		return nil, fmt.Errorf("stream: source yielded no rows")
+	}
+	if rows != m {
+		return nil, fmt.Errorf("stream: source yielded %d of %d rows", rows, m)
+	}
+	res.R = s
+
+	if sink == nil {
+		res.MaxResidentWords = acct.peak
+		return res, nil
+	}
+
+	// Down-sweep: propagate the identity from the top of the chain back
+	// down, producing each panel's n×n coefficient block C_i such that
+	// Q = diag(Q_0 … Q_{k-1}) · [C_0; …; C_{k-1}] (a raw panel's block is
+	// rows×n and already IS its slice of Q).
+	coeffs := make([]*lin.Matrix, res.Panels)
+	bmat := lin.Identity(n)
+	acct.alloc(nn * nn)
+	for j := len(nodes) - 1; j >= 0; j-- {
+		nd := nodes[j]
+		c := lin.MatMulParallel(opts.Workers, nd.bottom, bmat)
+		acct.alloc(int64(c.Rows) * nn)
+		coeffs[j+1] = c
+		b2 := lin.MatMulParallel(opts.Workers, nd.top, bmat)
+		acct.alloc(nn * nn)
+		acct.free(nn * nn) // previous bmat
+		bmat = b2
+		if nd.raw {
+			res.Flops += lin.GemmFlops(nd.bottom.Rows, n, n) + lin.GemmFlops(n, n, n)
+		} else {
+			res.Flops += 2 * lin.GemmFlops(n, n, n)
+		}
+	}
+	coeffs[0] = bmat
+	// The chain factors are no longer needed; only the coefficients are.
+	for _, nd := range nodes {
+		acct.free(nd.words())
+	}
+	nodes = nil
+
+	// Pass 2: re-read each panel, deterministically recompute its Q with
+	// the same kernel choice as pass 1, and emit Q_i·C_i. Raw panels'
+	// rows of Q were already produced by the down-sweep.
+	if err := src.Reset(); err != nil {
+		return nil, fmt.Errorf("stream: reset for Q pass: %w", err)
+	}
+	for i := 0; i < res.Panels; i++ {
+		p, err := src.Next(b)
+		if err != nil {
+			return nil, fmt.Errorf("stream: re-reading panel %d: %w", i, err)
+		}
+		res.IOOps++
+		res.ReadBytes += 8 * int64(p.Rows) * nn
+		ci := coeffs[i]
+		var out *lin.Matrix
+		if ci.Rows == p.Rows && p.Rows < n {
+			out = ci // raw panel: coefficient block is its Q slice
+		} else {
+			acct.alloc(3 * int64(p.Rows) * nn)
+			q, _, _, err := panelQRWith(p, shifted[i], opts)
+			acct.free(3 * int64(p.Rows) * nn)
+			if err != nil {
+				return nil, fmt.Errorf("stream: panel %d Q pass: %w", i, err)
+			}
+			acct.alloc(int64(p.Rows) * nn)
+			out = lin.MatMulParallel(opts.Workers, q, ci)
+			res.Flops += chargePanel(p.Rows, n, shifted[i]) + lin.GemmFlops(p.Rows, n, n)
+		}
+		if err := sink.Append(out); err != nil {
+			return nil, fmt.Errorf("stream: writing Q panel %d: %w", i, err)
+		}
+		res.IOOps++
+		res.WrittenBytes += 8 * int64(p.Rows) * nn
+		if out != ci {
+			acct.free(int64(p.Rows) * nn)
+		}
+		acct.free(int64(ci.Rows) * nn)
+		coeffs[i] = nil
+	}
+	res.MaxResidentWords = acct.peak
+	return res, nil
+}
+
+// panelQR factors one panel, trying CholeskyQR2 first (unless Shifted
+// forces escalation) and falling back to ShiftedCQR3 when the panel's
+// Gram matrix is not numerically positive definite.
+func panelQR(p *lin.Matrix, opts Options) (q, r *lin.Matrix, usedShifted bool, err error) {
+	if opts.Shifted {
+		return panelQRWith(p, true, opts)
+	}
+	q, r, err = core.CholeskyQR2(p, opts.Workers)
+	if err == nil {
+		return q, r, false, nil
+	}
+	return panelQRWith(p, true, opts)
+}
+
+// panelQRWith runs the named kernel, with no fallback — pass 2 replays
+// exactly the choice pass 1 recorded so both passes see the same Q.
+func panelQRWith(p *lin.Matrix, useShifted bool, opts Options) (q, r *lin.Matrix, usedShifted bool, err error) {
+	if useShifted {
+		q, r, err = core.ShiftedCQR3(p, opts.Workers)
+		return q, r, true, err
+	}
+	q, r, err = core.CholeskyQR2(p, opts.Workers)
+	return q, r, false, err
+}
+
+// mergeR stacks top (the running n×n R) above bottom (a new n×n R, or
+// a raw short panel) and QR-factors the stack, returning the chain node
+// and the new running R. lin.QR sign-normalizes, so the final R always
+// carries a non-negative diagonal.
+func mergeR(top, bottom *lin.Matrix, acct *accountant) (chainNode, *lin.Matrix, error) {
+	n := top.Cols
+	st := lin.NewMatrix(top.Rows+bottom.Rows, n)
+	acct.alloc(int64(st.Rows) * int64(n))
+	st.View(0, 0, top.Rows, n).CopyFrom(top)
+	st.View(top.Rows, 0, bottom.Rows, n).CopyFrom(bottom)
+	q, r, err := lin.QR(st)
+	if err != nil {
+		return chainNode{}, nil, fmt.Errorf("stream: R-merge: %w", err)
+	}
+	acct.alloc(int64(q.Rows)*int64(n) + int64(n)*int64(n))
+	acct.free(int64(st.Rows) * int64(n))
+	nd := chainNode{
+		top:    q.View(0, 0, top.Rows, n),
+		bottom: q.View(top.Rows, 0, bottom.Rows, n),
+	}
+	return nd, r, nil
+}
+
+// chargePanel is the modeled flop charge for one panel factorization:
+// CQR2Flops for the plain path; the shifted path adds one extra
+// CholeskyQR-shaped pass (Syrk + CholInv + Trmm) and the final
+// triangular R-merge.
+func chargePanel(rows, n int, usedShifted bool) int64 {
+	f := lin.CQR2Flops(rows, n)
+	if usedShifted {
+		f += lin.SyrkFlops(rows, n) + lin.CholFlops(n) + lin.TriInvFlops(n) +
+			lin.TrsmFlops(rows, n) + lin.GemmFlops(n, n, n)
+	}
+	return f
+}

@@ -1,0 +1,202 @@
+package stream
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"cacqr/internal/lin"
+)
+
+// File-backed panels: a tiny self-describing binary format so matrices
+// bigger than memory can live on disk between passes. Layout is the
+// 8-byte magic, two little-endian int64 dims, then m·n little-endian
+// float64 values row-major — sequential-scan friendly, which is the
+// access pattern both streaming passes make.
+
+const fileMagic = "CACQRSTM"
+
+// headerSize is magic + m + n.
+const headerSize = 8 + 8 + 8
+
+// WriteFileHeader writes the format header for an m×n matrix.
+func writeFileHeader(w io.Writer, m, n int) error {
+	var hdr [headerSize]byte
+	copy(hdr[:8], fileMagic)
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(m))
+	binary.LittleEndian.PutUint64(hdr[16:24], uint64(n))
+	_, err := w.Write(hdr[:])
+	return err
+}
+
+func readFileHeader(r io.Reader) (m, n int, err error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, fmt.Errorf("stream: reading matrix header: %w", err)
+	}
+	if string(hdr[:8]) != fileMagic {
+		return 0, 0, fmt.Errorf("stream: bad matrix file magic %q", hdr[:8])
+	}
+	m = int(int64(binary.LittleEndian.Uint64(hdr[8:16])))
+	n = int(int64(binary.LittleEndian.Uint64(hdr[16:24])))
+	if m < 1 || n < 1 {
+		return 0, 0, fmt.Errorf("stream: bad matrix file dims %dx%d", m, n)
+	}
+	return m, n, nil
+}
+
+// FileSource streams panels from a matrix file written by FileSink (or
+// WriteFile). Panels are read sequentially through one buffered reader;
+// Reset seeks back to the first data byte, so the driver's two passes
+// cost two sequential scans.
+type FileSource struct {
+	f    *os.File
+	br   *bufio.Reader
+	m, n int
+	row  int
+	buf  []byte
+}
+
+// OpenFile opens path as a panel source.
+func OpenFile(path string) (*FileSource, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	br := bufio.NewReaderSize(f, 1<<20)
+	m, n, err := readFileHeader(br)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &FileSource{f: f, br: br, m: m, n: n}, nil
+}
+
+// Dims implements Source.
+func (s *FileSource) Dims() (int, int) { return s.m, s.n }
+
+// Next implements Source.
+func (s *FileSource) Next(max int) (*lin.Matrix, error) {
+	if max < 1 {
+		return nil, fmt.Errorf("stream: panel size %d", max)
+	}
+	if s.row >= s.m {
+		return nil, io.EOF
+	}
+	r := s.m - s.row
+	if r > max {
+		r = max
+	}
+	need := r * s.n * 8
+	if cap(s.buf) < need {
+		s.buf = make([]byte, need)
+	}
+	buf := s.buf[:need]
+	if _, err := io.ReadFull(s.br, buf); err != nil {
+		return nil, fmt.Errorf("stream: reading rows %d..%d: %w", s.row, s.row+r, err)
+	}
+	p := lin.NewMatrix(r, s.n)
+	for i := range p.Data {
+		p.Data[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	s.row += r
+	return p, nil
+}
+
+// Reset implements Source, seeking back to the first data row.
+func (s *FileSource) Reset() error {
+	if _, err := s.f.Seek(headerSize, io.SeekStart); err != nil {
+		return err
+	}
+	s.br.Reset(s.f)
+	s.row = 0
+	return nil
+}
+
+// Close releases the underlying file.
+func (s *FileSource) Close() error { return s.f.Close() }
+
+// FileSink writes appended panels to a matrix file readable by
+// OpenFile. Close validates that exactly m rows arrived.
+type FileSink struct {
+	f    *os.File
+	bw   *bufio.Writer
+	m, n int
+	row  int
+	buf  []byte
+}
+
+// CreateFile creates path as a panel sink for an m×n matrix.
+func CreateFile(path string, m, n int) (*FileSink, error) {
+	if m < 1 || n < 1 {
+		return nil, fmt.Errorf("stream: bad sink dims %dx%d", m, n)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	if err := writeFileHeader(bw, m, n); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &FileSink{f: f, bw: bw, m: m, n: n}, nil
+}
+
+// Append implements Sink.
+func (s *FileSink) Append(panel *lin.Matrix) error {
+	if panel.Cols != s.n {
+		return fmt.Errorf("stream: panel width %d, want %d", panel.Cols, s.n)
+	}
+	if s.row+panel.Rows > s.m {
+		return fmt.Errorf("stream: sink overflow at row %d + %d > %d", s.row, panel.Rows, s.m)
+	}
+	need := panel.Rows * s.n * 8
+	if cap(s.buf) < need {
+		s.buf = make([]byte, need)
+	}
+	buf := s.buf[:need]
+	for i := 0; i < panel.Rows; i++ {
+		for j := 0; j < panel.Cols; j++ {
+			binary.LittleEndian.PutUint64(buf[8*(i*s.n+j):], math.Float64bits(panel.At(i, j)))
+		}
+	}
+	if _, err := s.bw.Write(buf); err != nil {
+		return err
+	}
+	s.row += panel.Rows
+	return nil
+}
+
+// Close flushes and closes the file, failing if the row count is short.
+func (s *FileSink) Close() error {
+	if err := s.bw.Flush(); err != nil {
+		s.f.Close()
+		return err
+	}
+	if err := s.f.Close(); err != nil {
+		return err
+	}
+	if s.row != s.m {
+		return fmt.Errorf("stream: sink closed after %d of %d rows", s.row, s.m)
+	}
+	return nil
+}
+
+// WriteFile spills an entire source to path — the helper tests and the
+// CLI use to materialize file-backed fixtures.
+func WriteFile(path string, src Source, panelRows int) error {
+	m, n := src.Dims()
+	snk, err := CreateFile(path, m, n)
+	if err != nil {
+		return err
+	}
+	if err := Drain(src, snk, panelRows); err != nil {
+		snk.f.Close()
+		return err
+	}
+	return snk.Close()
+}

@@ -1,0 +1,133 @@
+// Package stream factors matrices bigger than memory: the out-of-core
+// sequential TSQR of the CAQR papers (Demmel–Grigori–Hoemmen–Langou,
+// arXiv 0809.2407 / 0808.2664). The tall m×n matrix arrives as row
+// panels from a Source, each panel is factored in core with the
+// existing CholeskyQR2/ShiftedCQR3 kernels, and the n×n R factors are
+// merged through a left-deep chain of small stacked Householder QRs —
+// so only one panel plus the R-reduction chain is ever resident. A
+// second streaming pass over the same Source reconstructs the explicit
+// Q panel by panel into an optional Sink.
+//
+// Sources and sinks are deliberately io.Reader-shaped: Dense-backed
+// (views over an in-memory matrix), file-backed (a little-endian binary
+// panel format), and generator-backed (the deterministic RandomMatrix
+// sequence, so a daemon can stream a "gen" workload without ever
+// holding it).
+package stream
+
+import (
+	"fmt"
+	"io"
+
+	"cacqr/internal/lin"
+)
+
+// Source yields consecutive row panels of an m×n matrix, top to
+// bottom. Next returns at most max rows; io.EOF signals exhaustion.
+// Reset rewinds to the first row — required only when the driver must
+// make a second pass (Q write-back).
+type Source interface {
+	// Dims returns the full matrix shape (m, n).
+	Dims() (m, n int)
+	// Next returns the next panel of at most max rows (max ≥ 1). The
+	// returned matrix is only valid until the following Next call; the
+	// driver copies what it must keep. Returns io.EOF when no rows
+	// remain.
+	Next(max int) (*lin.Matrix, error)
+	// Reset rewinds the source to the first row.
+	Reset() error
+}
+
+// Sink accepts consecutive row panels of the output matrix, top to
+// bottom.
+type Sink interface {
+	Append(panel *lin.Matrix) error
+}
+
+// DenseSource streams an in-memory matrix as row-panel views — the
+// zero-copy adapter the planner's dispatch path uses when an in-memory
+// matrix is routed to the streaming variant.
+type DenseSource struct {
+	a   *lin.Matrix
+	row int
+}
+
+// NewDenseSource wraps a (not copied) as a Source.
+func NewDenseSource(a *lin.Matrix) *DenseSource { return &DenseSource{a: a} }
+
+// Dims implements Source.
+func (s *DenseSource) Dims() (int, int) { return s.a.Rows, s.a.Cols }
+
+// Next implements Source, returning views into the backing matrix.
+func (s *DenseSource) Next(max int) (*lin.Matrix, error) {
+	if max < 1 {
+		return nil, fmt.Errorf("stream: panel size %d", max)
+	}
+	if s.row >= s.a.Rows {
+		return nil, io.EOF
+	}
+	r := s.a.Rows - s.row
+	if r > max {
+		r = max
+	}
+	v := s.a.View(s.row, 0, r, s.a.Cols)
+	s.row += r
+	return v, nil
+}
+
+// Reset implements Source.
+func (s *DenseSource) Reset() error {
+	s.row = 0
+	return nil
+}
+
+// DenseSink assembles appended panels into one in-memory matrix —
+// the adapter behind returning an explicit Q from the public API.
+type DenseSink struct {
+	m   *lin.Matrix
+	row int
+}
+
+// NewDenseSink allocates a sink for an m×n output.
+func NewDenseSink(m, n int) *DenseSink { return &DenseSink{m: lin.NewMatrix(m, n)} }
+
+// Append implements Sink.
+func (s *DenseSink) Append(panel *lin.Matrix) error {
+	if panel.Cols != s.m.Cols {
+		return fmt.Errorf("stream: panel width %d, want %d", panel.Cols, s.m.Cols)
+	}
+	if s.row+panel.Rows > s.m.Rows {
+		return fmt.Errorf("stream: sink overflow at row %d + %d > %d", s.row, panel.Rows, s.m.Rows)
+	}
+	s.m.View(s.row, 0, panel.Rows, panel.Cols).CopyFrom(panel)
+	s.row += panel.Rows
+	return nil
+}
+
+// Matrix returns the assembled output (valid once every panel has been
+// appended).
+func (s *DenseSink) Matrix() *lin.Matrix { return s.m }
+
+// Rows reports how many rows have been appended so far.
+func (s *DenseSink) Rows() int { return s.row }
+
+// Drain copies every panel of src into snk, panelRows rows at a time —
+// the plain pump behind spilling a source to disk or materializing one
+// in memory.
+func Drain(src Source, snk Sink, panelRows int) error {
+	if panelRows < 1 {
+		panelRows = 4096
+	}
+	for {
+		p, err := src.Next(panelRows)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := snk.Append(p); err != nil {
+			return err
+		}
+	}
+}

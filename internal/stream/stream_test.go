@@ -1,0 +1,316 @@
+package stream
+
+import (
+	"io"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"cacqr/internal/core"
+	"cacqr/internal/costmodel"
+	"cacqr/internal/lin"
+)
+
+func maxDiff(a, b *lin.Matrix) float64 {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return math.Inf(1)
+	}
+	var d float64
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			if e := math.Abs(a.At(i, j) - b.At(i, j)); e > d {
+				d = e
+			}
+		}
+	}
+	return d
+}
+
+func orthErr(q *lin.Matrix) float64 {
+	g := lin.SyrkNew(q)
+	var d float64
+	for i := 0; i < g.Rows; i++ {
+		for j := 0; j <= i; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if e := math.Abs(g.At(i, j) - want); e > d {
+				d = e
+			}
+		}
+	}
+	return d
+}
+
+// The tentpole property: streaming TSQR must reproduce the in-core
+// CholeskyQR2 factorization (R to 1e-13 after sign normalization —
+// which both sides already guarantee — and a Q that is orthonormal and
+// reproduces A) across uneven panel schedules: panels that don't divide
+// m, a short tail shorter than n, panel = n exactly, and the degenerate
+// single-panel case.
+func TestStreamingMatchesInCore(t *testing.T) {
+	cases := []struct {
+		name       string
+		m, n, rows int
+	}{
+		{"even-split", 512, 16, 128},
+		{"uneven-split", 500, 16, 128},     // tail of 116 ≥ n
+		{"short-tail", 517, 16, 128},       // tail of 5 < n: raw merge path
+		{"panel-equals-n", 100, 16, 16},    // maximal chain depth
+		{"single-panel", 300, 16, 1 << 20}, // degenerate: whole matrix in one panel
+		{"wide-ish", 256, 48, 96},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := lin.RandomMatrix(tc.m, tc.n, 7)
+			qRef, rRef, err := core.CholeskyQR2(a, 0)
+			if err != nil {
+				t.Fatalf("in-core reference: %v", err)
+			}
+			snk := NewDenseSink(tc.m, tc.n)
+			res, err := Factorize(NewDenseSource(a), snk, Options{PanelRows: tc.rows})
+			if err != nil {
+				t.Fatalf("Factorize: %v", err)
+			}
+			if d := maxDiff(res.R, rRef); d > 1e-13*float64(tc.m) {
+				t.Errorf("R mismatch: max |ΔR| = %g", d)
+			}
+			q := snk.Matrix()
+			if d := orthErr(q); d > 1e-13 {
+				t.Errorf("streamed Q not orthonormal: %g", d)
+			}
+			// Q must reproduce A: ‖A − Q·R‖ small relative to ‖A‖ ~ 1.
+			qr := lin.MatMul(q, res.R)
+			if d := maxDiff(qr, a); d > 1e-12*float64(tc.n) {
+				t.Errorf("‖A − QR‖ = %g", d)
+			}
+			// And match the reference Q (same sign convention both sides).
+			if d := maxDiff(q, qRef); d > 1e-12 {
+				t.Errorf("Q mismatch vs in-core: %g", d)
+			}
+			wantPanels := tc.m / min(tc.rows, tc.m)
+			if tc.m%min(tc.rows, tc.m) != 0 {
+				wantPanels++
+			}
+			if res.Panels != wantPanels {
+				t.Errorf("Panels = %d, want %d", res.Panels, wantPanels)
+			}
+		})
+	}
+}
+
+// κ-sweep: moderately conditioned panels stream through plain CQR2;
+// once κ(A) is beyond what CholeskyQR2 handles, the per-panel kernels
+// must escalate to ShiftedCQR3 and still deliver an orthonormal Q with
+// a small residual.
+func TestStreamingCondSweep(t *testing.T) {
+	m, n, rows := 600, 12, 150
+	for _, cond := range []float64{1e2, 1e6, 1e9, 1e12} {
+		a := lin.RandomWithCond(m, n, cond, 3)
+		forceShift := !core.CanCQR2Handle(cond)
+		snk := NewDenseSink(m, n)
+		res, err := Factorize(NewDenseSource(a), snk, Options{PanelRows: rows, Shifted: forceShift})
+		if err != nil {
+			t.Fatalf("cond=%g: %v", cond, err)
+		}
+		if forceShift && res.ShiftedPanels != res.Panels {
+			t.Errorf("cond=%g: %d/%d panels shifted, want all", cond, res.ShiftedPanels, res.Panels)
+		}
+		q := snk.Matrix()
+		if d := orthErr(q); d > 1e-12 {
+			t.Errorf("cond=%g: streamed Q orthogonality error %g", cond, d)
+		}
+		qr := lin.MatMul(q, res.R)
+		if d := maxDiff(qr, a); d > 1e-11 {
+			t.Errorf("cond=%g: ‖A − QR‖ = %g", cond, d)
+		}
+	}
+}
+
+// The driver's flop accounting must agree exactly with the cost model's
+// StreamTSQR charge on the plain (unshifted) path — same contract the
+// distributed kernels keep with simmpi's measured counters.
+func TestStreamingFlopsMatchModel(t *testing.T) {
+	for _, tc := range []struct {
+		m, n, rows int
+		writeQ     bool
+	}{
+		{512, 16, 128, false},
+		{512, 16, 128, true},
+		{500, 16, 128, true},  // long tail
+		{517, 16, 128, true},  // raw short tail
+		{517, 16, 128, false}, // raw short tail, R only
+		{300, 16, 1 << 20, true},
+	} {
+		a := lin.RandomMatrix(tc.m, tc.n, 11)
+		var snk Sink
+		if tc.writeQ {
+			snk = NewDenseSink(tc.m, tc.n)
+		}
+		res, err := Factorize(NewDenseSource(a), snk, Options{PanelRows: tc.rows})
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		want, err := costmodel.StreamTSQR(tc.m, tc.n, tc.rows, tc.writeQ)
+		if err != nil {
+			t.Fatalf("model: %v", err)
+		}
+		if res.ShiftedPanels != 0 {
+			t.Fatalf("%+v: unexpected shifted escalation", tc)
+		}
+		if res.Flops != want.Flops {
+			t.Errorf("%+v: driver flops %d != model %d", tc, res.Flops, want.Flops)
+		}
+		if res.IOOps != want.IOOps {
+			t.Errorf("%+v: driver IO ops %d != model %d", tc, res.IOOps, want.IOOps)
+		}
+		if got := res.ReadBytes + res.WrittenBytes; got != want.IOBytes {
+			t.Errorf("%+v: driver IO bytes %d != model %d", tc, got, want.IOBytes)
+		}
+	}
+}
+
+// The whole point of streaming: resident memory stays within the
+// modeled footprint — one panel plus the R-reduction chain — which for
+// a tall matrix is far below the m·n words the in-core path needs.
+func TestStreamingResidentMemoryBounded(t *testing.T) {
+	m, n, rows := 4096, 32, 256
+	a := lin.RandomMatrix(m, n, 5)
+	snk := NewDenseSink(m, n)
+	res, err := Factorize(NewDenseSource(a), snk, Options{PanelRows: rows})
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget, err := costmodel.StreamTSQRMemory(m, n, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxResidentWords > budget {
+		t.Errorf("resident %d words exceeds modeled %d", res.MaxResidentWords, budget)
+	}
+	if full := int64(m) * int64(n); res.MaxResidentWords >= full {
+		t.Errorf("resident %d words not below in-core %d — streaming bought nothing", res.MaxResidentWords, full)
+	}
+}
+
+// File round-trip: spill a matrix to the binary panel format, stream
+// the factorization from disk with Q written to a file sink, and check
+// the on-disk Q against the in-core factorization.
+func TestFileSourceSinkRoundTrip(t *testing.T) {
+	m, n, rows := 700, 24, 160
+	dir := t.TempDir()
+	aPath := filepath.Join(dir, "a.mat")
+	qPath := filepath.Join(dir, "q.mat")
+	a := lin.RandomMatrix(m, n, 9)
+	if err := WriteFile(aPath, NewDenseSource(a), rows); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	src, err := OpenFile(aPath)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	defer src.Close()
+	if gm, gn := src.Dims(); gm != m || gn != n {
+		t.Fatalf("file dims %dx%d, want %dx%d", gm, gn, m, n)
+	}
+	snk, err := CreateFile(qPath, m, n)
+	if err != nil {
+		t.Fatalf("CreateFile: %v", err)
+	}
+	res, err := Factorize(src, snk, Options{PanelRows: rows})
+	if err != nil {
+		t.Fatalf("Factorize: %v", err)
+	}
+	if err := snk.Close(); err != nil {
+		t.Fatalf("sink close: %v", err)
+	}
+	_, rRef, err := core.CholeskyQR2(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxDiff(res.R, rRef); d > 1e-13*float64(m) {
+		t.Errorf("R mismatch through files: %g", d)
+	}
+	// Read the streamed Q back and verify it reconstructs A.
+	qsrc, err := OpenFile(qPath)
+	if err != nil {
+		t.Fatalf("reopen Q: %v", err)
+	}
+	defer qsrc.Close()
+	q := lin.NewMatrix(m, n)
+	row := 0
+	for {
+		p, err := qsrc.Next(rows)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		q.View(row, 0, p.Rows, n).CopyFrom(p)
+		row += p.Rows
+	}
+	if row != m {
+		t.Fatalf("Q file has %d rows, want %d", row, m)
+	}
+	qr := lin.MatMul(q, res.R)
+	if d := maxDiff(qr, a); d > 1e-12*float64(n) {
+		t.Errorf("on-disk Q: ‖A − QR‖ = %g", d)
+	}
+}
+
+// GenSource must replay lin.RandomMatrix's sequence bitwise, panel by
+// panel, across Reset.
+func TestGenSourceMatchesRandomMatrix(t *testing.T) {
+	m, n := 333, 7
+	want := lin.RandomMatrix(m, n, 42)
+	src, err := NewGenSource(m, n, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pass := 0; pass < 2; pass++ {
+		got := lin.NewMatrix(m, n)
+		row := 0
+		for {
+			p, err := src.Next(50)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			got.View(row, 0, p.Rows, n).CopyFrom(p)
+			row += p.Rows
+		}
+		if row != m {
+			t.Fatalf("pass %d: %d rows, want %d", pass, row, m)
+		}
+		for i := range got.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("pass %d: entry %d differs: %g vs %g", pass, i, got.Data[i], want.Data[i])
+			}
+		}
+		if err := src.Reset(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// Bad inputs fail loudly rather than silently truncating.
+func TestStreamingErrors(t *testing.T) {
+	a := lin.RandomMatrix(64, 8, 1)
+	if _, err := Factorize(NewDenseSource(a), nil, Options{PanelRows: 4}); err == nil {
+		t.Error("panel rows < n accepted")
+	}
+	wide := lin.RandomMatrix(4, 8, 1)
+	if _, err := Factorize(NewDenseSource(wide), nil, Options{PanelRows: 8}); err == nil {
+		t.Error("m < n accepted")
+	}
+	if _, err := costmodel.StreamTSQR(64, 8, 4, false); err == nil {
+		t.Error("model accepted panel rows < n")
+	}
+	if _, err := costmodel.StreamTSQRMemory(4, 8, 8); err == nil {
+		t.Error("memory model accepted m < n")
+	}
+}

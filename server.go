@@ -13,6 +13,7 @@ import (
 	"cacqr/internal/obs"
 	"cacqr/internal/plan"
 	"cacqr/internal/serve"
+	"cacqr/internal/stream"
 )
 
 // ErrOverloaded is returned by Submit/SubmitBatch when the server's
@@ -124,6 +125,30 @@ type SubmitResult struct {
 	// cacqrd's /v1/trace/{id}) while the trace stays in the retention
 	// ring. Empty when tracing is off or the request was not sampled.
 	TraceID string
+	// Stream reports the panel schedule and resource accounting when the
+	// request executed out-of-core (SubmitStream routed to a stream-tsqr
+	// plan); nil for in-core executions.
+	Stream *StreamInfo
+}
+
+// StreamRequest is one out-of-core unit of work for Server.SubmitStream:
+// a matrix that arrives as a panel source instead of a resident Dense.
+type StreamRequest struct {
+	// Source feeds the matrix (required).
+	Source *MatrixSource
+	// Sink, when non-nil, receives the explicit Q panel by panel; nil
+	// returns R only (single pass over the source).
+	Sink *MatrixSink
+	// CondEst is the caller's κ₂(A) hint (0 = assume well-conditioned —
+	// the server cannot run the power-iteration estimator on a matrix it
+	// never holds).
+	CondEst float64
+	// MemBudget caps the modeled resident footprint in bytes for this
+	// request (0 = the server's shared Options.MemBudget). When the
+	// effective budget rejects every in-core variant the planner routes
+	// to the streaming TSQR; with no budget at all the source is simply
+	// materialized and factored in core.
+	MemBudget int64
 }
 
 // BatchItem is one request's outcome within SubmitBatch: exactly one of
@@ -237,6 +262,106 @@ func (s *Server) submit(ctx context.Context, req SubmitRequest) (*SubmitResult, 
 	if out.Plan == nil { // defensive: the executor always sets it
 		out.Plan = &pl
 	}
+	return out, nil
+}
+
+// SubmitStream plans and executes one out-of-core request: the planner
+// sees the request's memory budget, and when that budget rejects every
+// in-core variant it selects the streaming TSQR — which factors the
+// source panel by panel without ever materializing it. The plan cache,
+// batching window, rank gate, and tracing all apply exactly as for
+// Submit (stream plans occupy one rank token). Blocks until complete;
+// safe for arbitrary concurrent use.
+func (s *Server) SubmitStream(req StreamRequest) (*SubmitResult, error) {
+	return s.SubmitStreamCtx(context.Background(), req)
+}
+
+// SubmitStreamCtx is SubmitStream with request-scoped cancellation.
+func (s *Server) SubmitStreamCtx(ctx context.Context, req StreamRequest) (*SubmitResult, error) {
+	tr, ctx := s.opts.Options.Tracer.Start(ctx, "factorize-stream")
+	res, err := s.submitStream(ctx, req)
+	if res != nil {
+		res.TraceID = tr.ID()
+		if root := tr.Root(); root != nil && res.Plan != nil {
+			root.SetStr("variant", string(res.Plan.Variant))
+			root.SetBool("cache_hit", res.PlanCacheHit)
+		}
+	}
+	s.countRequest(SubmitRequest{CondEst: req.CondEst}, res, err)
+	tr.Finish()
+	return res, err
+}
+
+// submitStream is the body of SubmitStreamCtx.
+func (s *Server) submitStream(ctx context.Context, req StreamRequest) (*SubmitResult, error) {
+	if req.Source == nil {
+		return nil, fmt.Errorf("cacqr: SubmitStream needs a source")
+	}
+	if req.CondEst != 0 {
+		if err := checkOptions(Options{CondEst: req.CondEst}); err != nil {
+			return nil, err
+		}
+	}
+	m, n := req.Source.Dims()
+	budget := req.MemBudget
+	if budget == 0 {
+		budget = s.opts.Options.MemBudget
+	}
+	opts := s.opts.Options
+	opts.CondEst = req.CondEst
+	opts.MemBudget = budget
+	// Streaming is single-rank; Procs = 1 keeps the plan cache key and
+	// the rank-gate claim honest.
+	preq := planRequest(m, n, 1, opts)
+	if root := obs.FromContext(ctx); root != nil {
+		root.SetInt("m", int64(m))
+		root.SetInt("n", int64(n))
+		root.SetInt("mem_budget", budget)
+	}
+	sp := obs.FromContext(ctx)
+	out := &SubmitResult{CondEst: req.CondEst}
+	pl, hit, err := s.inner.Do(ctx, preq, func(p plan.Plan) error {
+		es := sp.Stage("execute")
+		defer es.End()
+		eopts := s.execOptions(obs.ContextWith(ctx, es))
+		eopts.CondEst = req.CondEst
+		if p.Variant == plan.StreamTSQR {
+			eopts.PanelRows = p.PanelWidth
+			res, err := FactorizeStreaming(req.Source, req.Sink, eopts)
+			if err != nil {
+				return err
+			}
+			out.Q, out.R, out.Stats, out.Stream = res.Q, res.R, res.Stats, res.Stream
+			return nil
+		}
+		// The budget admitted an in-core plan: materialize the source and
+		// run it like any Submit.
+		a, err := materializeSource(req.Source)
+		if err != nil {
+			return err
+		}
+		res, err := FactorizePlan(a, p, eopts)
+		if err != nil {
+			return err
+		}
+		out.Q, out.R, out.Stats = res.Q, res.R, res.Stats
+		if req.Sink != nil && res.Q != nil {
+			snk, err := req.Sink.open(a.Rows, a.Cols)
+			if err != nil {
+				return err
+			}
+			if err := stream.Drain(stream.NewDenseSource(res.Q.toLin()), snk, 0); err != nil {
+				return err
+			}
+			return req.Sink.finish()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.PlanCacheHit = hit
+	out.Plan = &pl
 	return out, nil
 }
 

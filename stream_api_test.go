@@ -1,0 +1,242 @@
+package cacqr
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+func maxDenseDiff(a, b *Dense) float64 {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return math.Inf(1)
+	}
+	return maxAbsDiff(a.Data, b.Data)
+}
+
+// Public-API acceptance: streaming a matrix through the out-of-core
+// path must reproduce the in-core CholeskyQR2 factors while holding far
+// less than the full matrix resident.
+func TestFactorizeStreamingMatchesInCore(t *testing.T) {
+	const m, n = 4096, 32
+	a := RandomMatrix(m, n, 21)
+	qRef, rRef, err := CholeskyQR2(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := SinkToDense()
+	res, err := FactorizeStreaming(SourceFromDense(a), sink, Options{PanelRows: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxDenseDiff(res.R, rRef); d > 1e-13*float64(m) {
+		t.Errorf("R mismatch: %g", d)
+	}
+	if d := maxDenseDiff(res.Q, qRef); d > 1e-12 {
+		t.Errorf("Q mismatch: %g", d)
+	}
+	if res.Stream == nil {
+		t.Fatal("no stream accounting on a streamed run")
+	}
+	if res.Stream.Panels != m/512 {
+		t.Errorf("Panels = %d, want %d", res.Stream.Panels, m/512)
+	}
+	full := int64(8 * m * n)
+	if res.Stream.MaxResidentBytes >= full {
+		t.Errorf("resident %d B ≥ full matrix %d B — streaming bought nothing",
+			res.Stream.MaxResidentBytes, full)
+	}
+	if want, err := ModelStreamTSQRMemory(m, n, 512); err != nil || res.Stream.MaxResidentBytes > want {
+		t.Errorf("resident %d B exceeds modeled %d B (err %v)", res.Stream.MaxResidentBytes, want, err)
+	}
+}
+
+// A generator source streams the same deterministic matrix RandomMatrix
+// materializes — so factoring one must give the same R without the
+// matrix ever existing in memory.
+func TestFactorizeStreamingFromGenerator(t *testing.T) {
+	const m, n = 3000, 24
+	src, err := SourceFromGenerator(m, n, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := FactorizeStreaming(src, nil, Options{PanelRows: 700})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Q != nil {
+		t.Error("R-only run returned a Q")
+	}
+	_, rRef, err := CholeskyQR2(RandomMatrix(m, n, 77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxDenseDiff(res.R, rRef); d > 1e-13*float64(m) {
+		t.Errorf("R mismatch vs materialized generator: %g", d)
+	}
+}
+
+// File-backed round trip through the public wrappers.
+func TestStreamingFileRoundTrip(t *testing.T) {
+	const m, n = 1500, 16
+	dir := t.TempDir()
+	aPath := filepath.Join(dir, "a.mat")
+	a := RandomMatrix(m, n, 5)
+	if err := WriteMatrixFile(aPath, SourceFromDense(a), 400); err != nil {
+		t.Fatal(err)
+	}
+	src, err := SourceFromFile(aPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	sink := SinkToDense()
+	res, err := FactorizeStreaming(src, sink, Options{PanelRows: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := OrthogonalityError(res.Q); e > 1e-13 {
+		t.Errorf("orthogonality %g", e)
+	}
+	if e := ResidualNorm(a, res.Q, res.R); e > 1e-14 {
+		t.Errorf("residual %g", e)
+	}
+}
+
+// The routing acceptance: AutoFactorize must go out-of-core exactly
+// when the memory budget rejects every in-core variant — the choice is
+// a pure function of MemBudget.
+func TestAutoFactorizeStreamRouting(t *testing.T) {
+	const m, n = 8192, 32
+	a := RandomMatrix(m, n, 13)
+
+	// No budget: in-core, no stream accounting.
+	res, err := AutoFactorize(a, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan.Variant == VariantStreamTSQR || res.Stream != nil {
+		t.Fatalf("streamed with no memory pressure: %v", res.Plan)
+	}
+
+	// Find the smallest in-core footprint the planner knows for this
+	// shape, then budget below it.
+	plans, err := PlanGrid(m, n, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	minInCore := plans[0].MemBytes()
+	for _, p := range plans {
+		if p.MemBytes() < minInCore {
+			minInCore = p.MemBytes()
+		}
+	}
+	budget := minInCore / 2
+	res, err = AutoFactorize(a, 1, Options{MemBudget: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan.Variant != VariantStreamTSQR {
+		t.Fatalf("plan under budget %d = %v, want stream-tsqr", budget, res.Plan)
+	}
+	if res.Stream == nil {
+		t.Fatal("streamed run carries no stream accounting")
+	}
+	if res.Stream.MaxResidentBytes > budget {
+		t.Errorf("execution resident %d B broke the %d B budget the planner promised",
+			res.Stream.MaxResidentBytes, budget)
+	}
+	_, rRef, err := CholeskyQR2(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxDenseDiff(res.R, rRef); d > 1e-13*float64(m) {
+		t.Errorf("streamed R mismatch: %g", d)
+	}
+	if e := OrthogonalityError(res.Q); e > 1e-13 {
+		t.Errorf("streamed Q orthogonality %g", e)
+	}
+}
+
+// Server routing: SubmitStream under a tight budget streams (plan row,
+// stream accounting, cache reuse); without any budget it materializes
+// and runs in core.
+func TestServerSubmitStream(t *testing.T) {
+	const m, n = 8192, 32
+	srv, err := NewServer(ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	plans, err := PlanGrid(m, n, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := plans[0].MemBytes()
+	for _, p := range plans {
+		if p.MemBytes() < budget {
+			budget = p.MemBytes()
+		}
+	}
+	budget /= 2
+
+	mkSrc := func() *MatrixSource {
+		src, err := SourceFromGenerator(m, n, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return src
+	}
+
+	sink := SinkToDense()
+	res, err := srv.SubmitStream(StreamRequest{Source: mkSrc(), Sink: sink, MemBudget: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan.Variant != VariantStreamTSQR {
+		t.Fatalf("plan = %v, want stream-tsqr", res.Plan)
+	}
+	if res.Stream == nil || res.Stream.MaxResidentBytes > budget {
+		t.Fatalf("stream accounting missing or over budget: %+v", res.Stream)
+	}
+	q, err := sink.Dense()
+	if err != nil {
+		t.Fatal(err)
+	}
+	aRef := RandomMatrix(m, n, 99)
+	if e := ResidualNorm(aRef, q, res.R); e > 1e-13 {
+		t.Errorf("residual %g", e)
+	}
+	if res.Q == nil {
+		t.Error("dense-sink SubmitStream did not surface Q")
+	}
+
+	// Same key again: the plan must come from the cache.
+	res2, err := srv.SubmitStream(StreamRequest{Source: mkSrc(), MemBudget: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.PlanCacheHit {
+		t.Error("second same-key stream request missed the plan cache")
+	}
+	if res2.Q != nil {
+		t.Error("sink-less stream request returned a Q")
+	}
+
+	// No budget anywhere: the source fits, so it is materialized and
+	// factored in core.
+	res3, err := srv.SubmitStream(StreamRequest{Source: mkSrc()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.Plan.Variant == VariantStreamTSQR || res3.Stream != nil {
+		t.Fatalf("no-budget SubmitStream streamed anyway: %v", res3.Plan)
+	}
+	_, rRef, err := CholeskyQR2(aRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxDenseDiff(res3.R, rRef); d > 1e-13*float64(m) {
+		t.Errorf("materialized R mismatch: %g", d)
+	}
+}
