@@ -93,6 +93,7 @@ func AutoFactorize(a *Dense, procs int, opts Options) (*Result, error) {
 	if err := checkOptions(opts); err != nil {
 		return nil, err
 	}
+	//lint:ignore floatcompare 0 is the unset sentinel for CondEst, never a computed estimate
 	if opts.CondEst == 0 {
 		opts.CondEst = lin.EstimateCond(a.toLin(), condEstIters)
 	}

@@ -145,6 +145,7 @@ func runAuto(a *cacqr.Dense, procs int, opts cacqr.Options) (*cacqr.Result, erro
 	// Condition-aware routing: use the caller's hint, or measure one —
 	// the same estimate AutoFactorize would make internally, surfaced
 	// here so the table explains why the CQR2 family may be absent.
+	//lint:ignore floatcompare 0 is the unset sentinel for CondEst, never a computed estimate
 	if opts.CondEst == 0 {
 		opts.CondEst = cacqr.EstimateCondition(a)
 		fmt.Printf("estimated κ₂(A) ≈ %.3g (power iteration; +Inf = rank-deficient)\n", opts.CondEst)

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzFactorizeRequest drives the daemon's request-validation surface —
+// JSON decode plus buildMatrix — with arbitrary bodies. The contract:
+// malformed input errors, it never panics, and a matrix that does
+// materialize honors both the declared shape and the -max-elems bound
+// (one hostile body must not OOM the daemon out from under every other
+// client).
+func FuzzFactorizeRequest(f *testing.F) {
+	seeds := []string{
+		`{"m":4,"n":2,"gen":{"seed":7}}`,
+		`{"m":4,"n":2,"data":[1,2,3,4,5,6,7,8]}`,
+		`{"m":4,"n":2,"gen":{"seed":1,"cond":100}}`,
+		`{"m":4,"n":2,"gen":{"seed":1,"cond":1e308}}`,
+		`{"m":4,"n":2,"data":[1,2],"gen":{"seed":1}}`,
+		`{"m":-1,"n":2,"gen":{"seed":1}}`,
+		`{"m":4,"n":0}`,
+		`{"m":1000000000,"n":1000000000,"gen":{"seed":1}}`,
+		`{"m":4,"n":2,"b":[1,0,0,1],"data":[1,0,0,1,0,0,0,0]}`,
+		`{"m":4,"n":2,"gen":{"seed":1,"cond":"NaN"}}`,
+		`{`,
+		``,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	const maxElems = 1 << 12
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req, err := decodeRequest(bytes.NewReader(body))
+		if err != nil {
+			return // malformed JSON must error, never panic
+		}
+		a, err := buildMatrix(req, maxElems)
+		if err != nil {
+			return // rejected shapes/specs must error, never panic
+		}
+		if a.Rows != req.M || a.Cols != req.N {
+			t.Fatalf("built %dx%d for a %dx%d request", a.Rows, a.Cols, req.M, req.N)
+		}
+		if int64(a.Rows)*int64(a.Cols) > maxElems {
+			t.Fatalf("%dx%d matrix exceeds the %d-element bound", a.Rows, a.Cols, maxElems)
+		}
+	})
+}

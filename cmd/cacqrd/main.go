@@ -67,6 +67,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math"
 	"net"
@@ -397,8 +398,8 @@ func handle(srv *cacqr.Server, solve bool, maxElems int64, quiet bool) http.Hand
 			return
 		}
 		r.Body = http.MaxBytesReader(w, r.Body, bodyCap(maxElems))
-		var req request
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		req, err := decodeRequest(r.Body)
+		if err != nil {
 			code := http.StatusBadRequest
 			var tooBig *http.MaxBytesError
 			if errors.As(err, &tooBig) {
@@ -524,6 +525,19 @@ func handle(srv *cacqr.Server, solve bool, maxElems int64, quiet bool) http.Hand
 		}
 		writeJSON(w, http.StatusOK, out)
 	}
+}
+
+// decodeRequest parses one factorize/solve wire body. The caller caps
+// the reader (http.MaxBytesReader); everything beyond JSON
+// well-formedness — shape bounds, data/gen exclusivity, generator
+// κ targets — is buildMatrix's job, so the two compose into the full
+// request-validation surface (and fuzz as one unit).
+func decodeRequest(body io.Reader) (request, error) {
+	var req request
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		return req, err
+	}
+	return req, nil
 }
 
 // buildMatrix materializes the request's matrix from inline data or the

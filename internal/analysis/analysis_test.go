@@ -1,0 +1,125 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"cacqr/internal/analysis"
+	"cacqr/internal/analysis/analysistest"
+)
+
+// suite picks analyzers from the registry by name.
+func suite(t *testing.T, names ...string) []*analysis.Analyzer {
+	t.Helper()
+	byName := map[string]*analysis.Analyzer{}
+	for _, a := range analysis.All() {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, n := range names {
+		a, ok := byName[n]
+		if !ok {
+			t.Fatalf("no analyzer named %q in the registry", n)
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+func TestWorkersKnob(t *testing.T) {
+	// lin: firing (NumCPU, go stmt) plus a _test.go exemption; tsqr: a
+	// file-scope allow; other: out of the analyzer's scope entirely.
+	analysistest.Run(t, "testdata", suite(t, "workersknob"), "lin", "tsqr", "other")
+}
+
+func TestDeterministicGen(t *testing.T) {
+	analysistest.Run(t, "testdata", suite(t, "deterministicgen"), "testmat")
+}
+
+func TestObsSafety(t *testing.T) {
+	// obs: receiver-guard mode; obsuser: nil-check mode via the fixture
+	// import "obs".
+	analysistest.Run(t, "testdata", suite(t, "obssafety"), "obs", "obsuser")
+}
+
+func TestMuGuard(t *testing.T) {
+	analysistest.Run(t, "testdata", suite(t, "muguard"), "serve")
+}
+
+func TestFloatCompare(t *testing.T) {
+	analysistest.Run(t, "testdata", suite(t, "floatcompare"), "floats")
+}
+
+// TestFloatCompareAllowBindsPerFile proves a file-scope allow
+// suppresses exactly the file that carries it: a.go's comparison stays
+// silent, b.go's identical comparison in the same package still fires.
+func TestFloatCompareAllowBindsPerFile(t *testing.T) {
+	diags := analysistest.Run(t, "testdata", suite(t, "floatcompare"), "floatallow")
+	if len(diags) != 1 {
+		t.Fatalf("want exactly 1 diagnostic (b.go only), got %d: %v", len(diags), diags)
+	}
+	if base := diags[0].Pos.Filename; !strings.HasSuffix(base, "b.go") {
+		t.Fatalf("diagnostic landed in %s, want b.go", base)
+	}
+}
+
+func TestErrWrap(t *testing.T) {
+	analysistest.Run(t, "testdata", suite(t, "errwrap"), "errwrap")
+}
+
+// TestDirectiveValidation proves malformed directives are findings
+// themselves: unknown analyzer names and unknown verbs get flagged
+// (want comments in the fixture), while a well-formed line-scope
+// ignore suppresses exactly its line and the next.
+func TestDirectiveValidation(t *testing.T) {
+	analysistest.Run(t, "testdata", suite(t, "floatcompare"), "directives")
+}
+
+// TestDirectiveRequiresJustification: an allow with no justification is
+// reported AND does not disarm the analyzer — the file's comparison
+// still fires. (This case cannot carry a same-line want comment: the
+// want text would itself become the justification.)
+func TestDirectiveRequiresJustification(t *testing.T) {
+	pkgs := analysistest.Load(t, "testdata", "badjust")
+	diags, err := analysis.RunPackages(pkgs, suite(t, "floatcompare"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("want 2 diagnostics (directive + comparison), got %d: %v", len(diags), diags)
+	}
+	var sawDirective, sawCompare bool
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "directive":
+			sawDirective = true
+			if !strings.Contains(d.Message, "no justification") {
+				t.Errorf("directive diagnostic %q does not mention the missing justification", d.Message)
+			}
+		case "floatcompare":
+			sawCompare = true
+		}
+	}
+	if !sawDirective || !sawCompare {
+		t.Fatalf("want one directive and one floatcompare diagnostic, got %v", diags)
+	}
+}
+
+// TestRegistry pins the suite's shape: every analyzer is named,
+// documented, and runnable.
+func TestRegistry(t *testing.T) {
+	all := analysis.All()
+	if len(all) != 6 {
+		t.Fatalf("registry has %d analyzers, want 6", len(all))
+	}
+	seen := map[string]bool{}
+	for _, a := range all {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v is missing a name, doc, or run function", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+}

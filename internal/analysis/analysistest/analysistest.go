@@ -1,0 +1,220 @@
+// Package analysistest runs analyzers over fixture packages and checks
+// the diagnostics against `// want "regexp"` comments in the fixture
+// source, in the manner of golang.org/x/tools/go/analysis/analysistest.
+//
+// Fixtures live under <testdata>/src/<pkgpath>/*.go. Each fixture
+// package is parsed and type-checked with an importer that resolves
+// sibling fixture packages first (so a fixture can `import "obs"` and
+// get <testdata>/src/obs) and falls back to the standard library.
+// Diagnostics are produced by the same driver the cacqrlint binary
+// uses — directive validation, AppliesTo scoping, and //lint
+// suppression all apply — so a fixture proves end-to-end behavior, not
+// just the analyzer's Run function.
+//
+// A want comment asserts a diagnostic on its own line whose message
+// matches the quoted regular expression:
+//
+//	x := runtime.NumCPU() // want "bypasses the Workers knob"
+//
+// Several quoted patterns in one comment assert several diagnostics on
+// that line. A fixture line with no want comment asserts the absence of
+// diagnostics on it.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"cacqr/internal/analysis"
+)
+
+// Run loads each named fixture package from <testdata>/src and applies
+// the analyzers through the real driver, failing t on any mismatch
+// between reported diagnostics and the fixtures' want comments. It
+// returns the diagnostics for tests that assert more than positions.
+func Run(t *testing.T, testdata string, analyzers []*analysis.Analyzer, pkgPaths ...string) []analysis.Diagnostic {
+	t.Helper()
+	ld := newLoader(filepath.Join(testdata, "src"))
+	var pkgs []*analysis.Package
+	for _, path := range pkgPaths {
+		pkg, err := ld.load(path)
+		if err != nil {
+			t.Fatalf("loading fixture package %s: %v", path, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	diags, err := analysis.RunPackages(pkgs, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+
+	wants := collectWants(t, pkgs)
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.pattern)
+		}
+	}
+	return diags
+}
+
+// Load parses and type-checks fixture packages without running any
+// analyzer, for tests that assert on the driver's raw diagnostics
+// (e.g. directive-validation cases whose findings cannot carry a
+// same-line want comment).
+func Load(t *testing.T, testdata string, pkgPaths ...string) []*analysis.Package {
+	t.Helper()
+	ld := newLoader(filepath.Join(testdata, "src"))
+	var pkgs []*analysis.Package
+	for _, path := range pkgPaths {
+		pkg, err := ld.load(path)
+		if err != nil {
+			t.Fatalf("loading fixture package %s: %v", path, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs
+}
+
+// loader loads fixture packages, caching so that two fixtures importing
+// the same sibling share one types.Package (types identity matters:
+// *obs.Span in the importer and importee must be the same type).
+type loader struct {
+	src  string
+	fset *token.FileSet
+	pkgs map[string]*analysis.Package
+	std  types.Importer
+}
+
+func newLoader(src string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		src:  src,
+		fset: fset,
+		pkgs: map[string]*analysis.Package{},
+		std:  importer.ForCompiler(fset, "source", nil),
+	}
+}
+
+// load parses and type-checks the fixture package at <src>/<path>.
+func (ld *loader) load(path string) (*analysis.Package, error) {
+	if pkg, ok := ld.pkgs[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(ld.src, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	pkg, err := analysis.CheckFiles(ld.fset, path, files, ld)
+	if err != nil {
+		return nil, err
+	}
+	pkg.Dir = dir
+	ld.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// Import resolves an import inside a fixture: sibling fixture packages
+// win, everything else goes to the standard-library source importer.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if st, err := os.Stat(filepath.Join(ld.src, path)); err == nil && st.IsDir() {
+		pkg, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return ld.std.Import(path)
+}
+
+// want is one expected diagnostic: a pattern anchored to a fixture line.
+type want struct {
+	file    string // base name, for error messages
+	full    string // absolute path, for matching
+	line    int
+	pattern string
+	re      *regexp.Regexp
+	matched bool
+}
+
+// wantRe extracts the quoted patterns of a `// want "p1" "p2"` comment.
+var wantRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// collectWants scans every fixture comment for want annotations.
+func collectWants(t *testing.T, pkgs []*analysis.Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					idx := strings.Index(c.Text, "// want ")
+					if idx < 0 {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					ms := wantRe.FindAllStringSubmatch(c.Text[idx:], -1)
+					if len(ms) == 0 {
+						t.Fatalf("%s:%d: want comment with no quoted pattern", pos.Filename, pos.Line)
+					}
+					for _, m := range ms {
+						re, err := regexp.Compile(m[1])
+						if err != nil {
+							t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, m[1], err)
+						}
+						wants = append(wants, &want{
+							file:    filepath.Base(pos.Filename),
+							full:    pos.Filename,
+							line:    pos.Line,
+							pattern: m[1],
+							re:      re,
+						})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// claim marks the first unmatched want covering d as matched.
+func claim(wants []*want, d analysis.Diagnostic) bool {
+	for _, w := range wants {
+		if w.matched || w.full != d.Pos.Filename || w.line != d.Pos.Line {
+			continue
+		}
+		if w.re.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}

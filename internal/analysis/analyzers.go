@@ -1,0 +1,14 @@
+package analysis
+
+// All returns the full suite in reporting order. cmd/cacqrlint and the
+// CI lint job run exactly this set.
+func All() []*Analyzer {
+	return []*Analyzer{
+		WorkersKnob,
+		DeterministicGen,
+		ObsSafety,
+		MuGuard,
+		FloatCompare,
+		ErrWrap,
+	}
+}

@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Lint directives. Two forms, both requiring a justification so an
+// opt-out reads as a decision, not an accident:
+//
+//	//lint:allow <analyzer> <justification>   — whole file
+//	//lint:ignore <analyzer> <justification>  — the directive's line and
+//	                                            the line below it
+//
+// The driver validates every directive: an unknown analyzer name or a
+// missing justification is reported as a "directive" diagnostic, so a
+// typo cannot silently disable nothing (or worse, look like it
+// disabled something).
+
+const directivePrefix = "//lint:"
+
+// directives is the parsed suppression state of one file.
+type directives struct {
+	// allowed maps analyzer name → true for file-scope opt-outs.
+	allowed map[string]bool
+	// ignored maps analyzer name → set of suppressed lines.
+	ignored map[string]map[int]bool
+}
+
+// suppresses reports whether a diagnostic from analyzer at line is
+// switched off in this file.
+func (d *directives) suppresses(analyzer string, line int) bool {
+	if d == nil {
+		return false
+	}
+	if d.allowed[analyzer] {
+		return true
+	}
+	return d.ignored[analyzer][line]
+}
+
+// parseDirectives scans one file's comments, returning its suppression
+// state and reporting malformed or unknown directives via report.
+// known maps valid analyzer names (the driver passes the registry).
+func parseDirectives(fset *token.FileSet, file *ast.File, known map[string]bool, report func(pos token.Pos, format string, args ...any)) *directives {
+	d := &directives{allowed: map[string]bool{}, ignored: map[string]map[int]bool{}}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			if !strings.HasPrefix(text, directivePrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(text, directivePrefix)
+			fields := strings.Fields(rest)
+			if len(fields) == 0 {
+				report(c.Pos(), "malformed lint directive %q: want //lint:allow or //lint:ignore", text)
+				continue
+			}
+			verb := fields[0]
+			args := fields[1:]
+			// The verb may be glued to its argument only via the
+			// documented "verb name" form; anything else is malformed.
+			switch verb {
+			case "allow", "ignore":
+			default:
+				report(c.Pos(), "unknown lint directive verb %q (want allow or ignore)", verb)
+				continue
+			}
+			if len(args) == 0 {
+				report(c.Pos(), "lint directive %q names no analyzer", text)
+				continue
+			}
+			name := args[0]
+			if !known[name] {
+				report(c.Pos(), "lint directive names unknown analyzer %q", name)
+				continue
+			}
+			if len(args) < 2 {
+				report(c.Pos(), "lint directive for %q has no justification — say why", name)
+				continue
+			}
+			switch verb {
+			case "allow":
+				d.allowed[name] = true
+			case "ignore":
+				line := fset.Position(c.Pos()).Line
+				if d.ignored[name] == nil {
+					d.ignored[name] = map[int]bool{}
+				}
+				d.ignored[name][line] = true
+				d.ignored[name][line+1] = true
+			}
+		}
+	}
+	return d
+}

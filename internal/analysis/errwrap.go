@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// errwrap: fmt.Errorf that formats an error argument must wrap it with
+// %w. The serving stack routes on sentinel identity through errors.Is —
+// ErrIllConditioned sends a solve to the shifted retry path,
+// ErrOverloaded becomes cacqrd's 503 — and a %v/%s in the middle of the
+// chain severs that identity silently: everything still reads fine in
+// logs, but the routing downgrades to the generic error path.
+var ErrWrap = &Analyzer{
+	Name: "errwrap",
+	Doc:  "fmt.Errorf with an error argument must use %w so errors.Is keeps working",
+	Run:  runErrWrap,
+}
+
+func runErrWrap(pass *Pass) error {
+	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isPkgFunc(pass.TypesInfo, call, "fmt", "Errorf") || len(call.Args) < 2 {
+				return true
+			}
+			format, ok := constantString(pass.TypesInfo, call.Args[0])
+			if !ok {
+				return true // dynamic format: nothing to prove either way
+			}
+			wraps := countVerb(format, 'w')
+			errArgs := 0
+			for _, arg := range call.Args[1:] {
+				t := pass.TypesInfo.Types[arg].Type
+				if t == nil {
+					continue
+				}
+				if types.Implements(t, errType) || types.Implements(types.NewPointer(t), errType) {
+					errArgs++
+				}
+			}
+			if errArgs > wraps {
+				pass.Reportf(call.Pos(), "fmt.Errorf formats an error without %%w; errors.Is/As stop seeing through this wrap — use %%w (or errors.Is-route before flattening)")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// constantString resolves e to a compile-time string, following
+// concatenation.
+func constantString(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return "", false
+	}
+	s := tv.Value.ExactString()
+	if !strings.HasPrefix(s, `"`) && !strings.HasPrefix(s, "`") {
+		return "", false
+	}
+	out, err := strconv.Unquote(s)
+	if err != nil {
+		return "", false
+	}
+	return out, true
+}
+
+// countVerb counts %<verb> occurrences, skipping %%.
+func countVerb(format string, verb byte) int {
+	count := 0
+	for i := 0; i+1 < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		if format[i+1] == '%' {
+			i++
+			continue
+		}
+		// Skip flags/width between % and the verb letter.
+		j := i + 1
+		for j < len(format) && strings.IndexByte("+-# 0123456789.*[]", format[j]) >= 0 {
+			j++
+		}
+		if j < len(format) && format[j] == verb {
+			count++
+		}
+		i = j
+	}
+	return count
+}

@@ -1,0 +1,57 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// floatcompare: ==/!= on floating-point operands is almost always a
+// rounding bug waiting to happen in a numerical codebase — two
+// mathematically equal results differ in the last ulp and the branch
+// flips. Comparisons should use a tolerance (math.Abs(a-b) <= tol).
+//
+// The exception is real and sanctioned: the bitwise-equality invariants
+// this repo leans on (parallel kernels bit-identical to serial,
+// generator replay bit-identical across passes) genuinely mean ==. A
+// file that means bits opts in with
+//
+//	//lint:allow floatcompare <why bit equality is the contract here>
+var FloatCompare = &Analyzer{
+	Name: "floatcompare",
+	Doc:  "no ==/!= on floating-point operands; use tolerances or opt the file in for bitwise checks",
+	Run:  runFloatCompare,
+}
+
+func runFloatCompare(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if isFloat(pass.TypesInfo, be.X) || isFloat(pass.TypesInfo, be.Y) {
+				pass.Reportf(be.Pos(), "floating-point %s comparison; use a tolerance (math.Abs(a-b) <= tol) or opt the file in with //lint:allow floatcompare if bit equality is the contract", be.Op)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isFloat(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch b.Kind() {
+	case types.Float32, types.Float64, types.UntypedFloat,
+		types.Complex64, types.Complex128, types.UntypedComplex:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,402 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// muguard: struct fields annotated `// guarded by <mu>` may only be
+// read or written while the sibling mutex is held. The check is a
+// simple intraprocedural lock-state walk: within one function body it
+// tracks which `<expr>.<mu>` mutexes are held (Lock/RLock acquire,
+// Unlock/RUnlock release, deferred unlocks keep the mutex held to the
+// end), branching conservatively — an if-branch that terminates
+// (return/panic) does not leak its lock state past the branch, and a
+// function literal starts with nothing held, because nothing says when
+// it runs.
+//
+// This is exactly the discipline serve.Server's Stats rebuild (PR 8)
+// established by hand: every request-level counter under ONE mutex so
+// the snapshot invariants (Lookups == Hits+Misses, Misses ==
+// Batched+Leads) hold at any instant. The annotation turns that
+// hand-audit into a mechanical one.
+var MuGuard = &Analyzer{
+	Name: "muguard",
+	Doc:  "fields annotated `// guarded by mu` may only be accessed holding the mutex",
+	AppliesTo: func(pkgPath string) bool {
+		return pathIn(pkgPath, "cacqr/internal/serve")
+	},
+	Run: runMuGuard,
+}
+
+var guardedRe = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*)`)
+
+// guardInfo is the annotation table for one package: field object →
+// name of the mutex field in the same struct that guards it.
+type guardInfo map[types.Object]string
+
+func runMuGuard(pass *Pass) error {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w := &lockWalker{pass: pass, guards: guards}
+			w.walkStmts(fd.Body.List, map[string]bool{})
+		}
+	}
+	return nil
+}
+
+// collectGuards finds `// guarded by <mu>` field annotations, checking
+// that the named mutex is a sync.Mutex/RWMutex field of the same
+// struct (a dangling annotation is itself reported — it promises a
+// protection that cannot exist).
+func collectGuards(pass *Pass) guardInfo {
+	guards := guardInfo{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			muFields := map[string]bool{}
+			for _, fld := range st.Fields.List {
+				t := pass.TypesInfo.Types[fld.Type].Type
+				if t != nil && isMutexType(t) {
+					for _, name := range fld.Names {
+						muFields[name.Name] = true
+					}
+				}
+			}
+			for _, fld := range st.Fields.List {
+				mu := annotatedMutex(fld)
+				if mu == "" {
+					continue
+				}
+				if !muFields[mu] {
+					pass.Reportf(fld.Pos(), "field annotated `guarded by %s` but the struct has no sync.Mutex/RWMutex field %q", mu, mu)
+					continue
+				}
+				for _, name := range fld.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						guards[obj] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// annotatedMutex extracts the mutex name from a field's doc or trailing
+// comment.
+func annotatedMutex(fld *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{fld.Doc, fld.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+func isMutexType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	if named.Obj().Pkg().Path() != "sync" {
+		return false
+	}
+	return named.Obj().Name() == "Mutex" || named.Obj().Name() == "RWMutex"
+}
+
+// lockWalker carries the per-function state of the intraprocedural
+// walk. held maps "<rootExpr>.<mu>" keys to true while that mutex is
+// known held on every path reaching the current statement.
+type lockWalker struct {
+	pass   *Pass
+	guards guardInfo
+}
+
+// walkStmts analyzes stmts in order, mutating held, and returns whether
+// the sequence terminates (ends in return or panic), so callers can
+// avoid merging dead lock state past a branch.
+func (w *lockWalker) walkStmts(stmts []ast.Stmt, held map[string]bool) (terminates bool) {
+	for _, st := range stmts {
+		if w.walkStmt(st, held) {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *lockWalker) walkStmt(st ast.Stmt, held map[string]bool) (terminates bool) {
+	switch st := st.(type) {
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if key, op := w.lockOp(call); op != "" {
+				w.checkExprs(call.Args, held)
+				switch op {
+				case "lock":
+					held[key] = true
+				case "unlock":
+					delete(held, key)
+				}
+				return false
+			}
+			if isPanicCall(w.pass.TypesInfo, call) {
+				w.checkExprs(call.Args, held)
+				return true
+			}
+		}
+		w.checkNode(st.X, held)
+	case *ast.DeferStmt:
+		if key, op := w.lockOp(st.Call); op == "unlock" {
+			// Deferred unlock: the mutex stays held for the rest of the
+			// function body.
+			_ = key
+			return false
+		}
+		// Other deferred calls (including closures) run at an unknown
+		// lock state; analyze closure bodies with nothing held.
+		w.checkNode(st.Call, map[string]bool{})
+	case *ast.ReturnStmt:
+		w.checkExprs(st.Results, held)
+		return true
+	case *ast.AssignStmt:
+		w.checkExprs(st.Rhs, held)
+		w.checkExprs(st.Lhs, held)
+	case *ast.IncDecStmt:
+		w.checkNode(st.X, held)
+	case *ast.BlockStmt:
+		return w.walkStmts(st.List, held)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			w.walkStmt(st.Init, held)
+		}
+		w.checkNode(st.Cond, held)
+		thenHeld := copyHeld(held)
+		thenTerm := w.walkStmts(st.Body.List, thenHeld)
+		var elseHeld map[string]bool
+		elseTerm := false
+		if st.Else != nil {
+			elseHeld = copyHeld(held)
+			elseTerm = w.walkStmt(st.Else, elseHeld)
+		} else {
+			elseHeld = held
+		}
+		// Merge: keep only mutexes held on every live path.
+		switch {
+		case thenTerm && elseTerm:
+			return true
+		case thenTerm:
+			replaceHeld(held, elseHeld)
+		case elseTerm:
+			replaceHeld(held, thenHeld)
+		default:
+			replaceHeld(held, intersect(thenHeld, elseHeld))
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			w.walkStmt(st.Init, held)
+		}
+		if st.Cond != nil {
+			w.checkNode(st.Cond, held)
+		}
+		body := copyHeld(held)
+		w.walkStmts(st.Body.List, body)
+		if st.Post != nil {
+			w.walkStmt(st.Post, body)
+		}
+	case *ast.RangeStmt:
+		w.checkNode(st.X, held)
+		body := copyHeld(held)
+		w.walkStmts(st.Body.List, body)
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			w.walkStmt(st.Init, held)
+		}
+		if st.Tag != nil {
+			w.checkNode(st.Tag, held)
+		}
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.checkExprs(cc.List, held)
+				w.walkStmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			w.walkStmt(st.Init, held)
+		}
+		w.walkStmt(st.Assign, held)
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.walkStmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				sub := copyHeld(held)
+				if cc.Comm != nil {
+					w.walkStmt(cc.Comm, sub)
+				}
+				w.walkStmts(cc.Body, sub)
+			}
+		}
+	case *ast.GoStmt:
+		// The goroutine runs at an unknown time: analyze with nothing
+		// held.
+		w.checkNode(st.Call, map[string]bool{})
+	case *ast.LabeledStmt:
+		return w.walkStmt(st.Stmt, held)
+	case *ast.SendStmt:
+		w.checkNode(st.Chan, held)
+		w.checkNode(st.Value, held)
+	case *ast.DeclStmt:
+		w.checkNode(st, held)
+	case *ast.BranchStmt:
+		// break/continue/goto: treat as terminating this straight-line
+		// sequence so lock state does not leak past the jump.
+		return true
+	default:
+		if st != nil {
+			w.checkNode(st, held)
+		}
+	}
+	return false
+}
+
+// lockOp recognizes `<expr>.<mu>.Lock()` / `.Unlock()` (and the RW
+// variants), returning the held-set key and "lock"/"unlock".
+func (w *lockWalker) lockOp(call *ast.CallExpr) (key, op string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		op = "lock"
+	case "Unlock", "RUnlock":
+		op = "unlock"
+	default:
+		return "", ""
+	}
+	muSel, ok := sel.X.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	if t := w.pass.TypesInfo.Types[muSel].Type; t == nil || !isMutexType(t) {
+		return "", ""
+	}
+	return exprKey(muSel.X) + "." + muSel.Sel.Name, op
+}
+
+// checkExprs / checkNode report guarded-field accesses reachable in the
+// expression tree while their mutex is not in held. Function literals
+// start over with nothing held.
+func (w *lockWalker) checkExprs(exprs []ast.Expr, held map[string]bool) {
+	for _, e := range exprs {
+		w.checkNode(e, held)
+	}
+}
+
+func (w *lockWalker) checkNode(n ast.Node, held map[string]bool) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			w.walkStmts(n.Body.List, map[string]bool{})
+			return false
+		case *ast.SelectorExpr:
+			selInfo, ok := w.pass.TypesInfo.Selections[n]
+			if !ok || selInfo.Kind() != types.FieldVal {
+				return true
+			}
+			mu, guarded := w.guards[fieldObj(selInfo)]
+			if !guarded {
+				return true
+			}
+			key := exprKey(n.X) + "." + mu
+			if !held[key] {
+				w.pass.Reportf(n.Pos(), "%s is guarded by %s.%s, which is not held here", n.Sel.Name, exprKey(n.X), mu)
+			}
+		}
+		return true
+	})
+}
+
+// fieldObj resolves the selected field's object, following the
+// selection through embedding.
+func fieldObj(sel *types.Selection) types.Object { return sel.Obj() }
+
+// exprKey renders the lock-root expression to a stable string key:
+// identifiers and dotted paths keep their spelling, anything more
+// complex collapses to a placeholder (conservatively distinct from
+// everything).
+func exprKey(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprKey(e.X) + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return exprKey(e.X)
+	case *ast.StarExpr:
+		return exprKey(e.X)
+	default:
+		return "<expr>"
+	}
+}
+
+func isPanicCall(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin && id.Name == "panic"
+}
+
+func copyHeld(h map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(h))
+	for k := range h {
+		out[k] = true
+	}
+	return out
+}
+
+func replaceHeld(dst, src map[string]bool) {
+	for k := range dst {
+		if !src[k] {
+			delete(dst, k)
+		}
+	}
+	for k := range src {
+		dst[k] = true
+	}
+}
+
+func intersect(a, b map[string]bool) map[string]bool {
+	out := map[string]bool{}
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}

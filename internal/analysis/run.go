@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"go/token"
+)
+
+// RunPackages applies analyzers to the loaded packages, honoring each
+// analyzer's AppliesTo scope and the per-file //lint directives, and
+// validating the directives themselves. Diagnostics come back sorted
+// by position.
+func RunPackages(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		ds, err := runOne(pkg, analyzers, known)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, ds...)
+	}
+	sortDiagnostics(all)
+	return all, nil
+}
+
+// Run loads the packages matching patterns and applies analyzers.
+func Run(patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	pkgs, err := Load(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return RunPackages(pkgs, analyzers)
+}
+
+// runOne applies the suite to one package: parse directives per file
+// (reporting malformed ones), run each in-scope analyzer, and drop
+// findings a directive covers.
+func runOne(pkg *Package, analyzers []*Analyzer, known map[string]bool) ([]Diagnostic, error) {
+	var out []Diagnostic
+	// Suppression state keyed by filename: diagnostics carry a resolved
+	// token.Position, so filename+line is the natural join key.
+	byFile := map[string]*directives{}
+	for _, f := range pkg.Files {
+		fname := pkg.Fset.Position(f.Package).Filename
+		dp := &Pass{
+			Analyzer:  directiveAnalyzer,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			report:    func(d Diagnostic) { out = append(out, d) },
+		}
+		byFile[fname] = parseDirectives(pkg.Fset, f, known, func(pos token.Pos, format string, args ...any) {
+			dp.Reportf(pos, format, args...)
+		})
+	}
+	for _, a := range analyzers {
+		if a.AppliesTo != nil && !a.AppliesTo(pkg.Path) {
+			continue
+		}
+		name := a.Name
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		pass.report = func(d Diagnostic) {
+			if byFile[d.Pos.Filename].suppresses(name, d.Pos.Line) {
+				return
+			}
+			out = append(out, d)
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// directiveAnalyzer attributes directive-validation findings; the
+// driver validates directives while parsing them, so it has no Run.
+var directiveAnalyzer = &Analyzer{
+	Name: "directive",
+	Doc:  "lint directives must name a known analyzer and carry a justification",
+}

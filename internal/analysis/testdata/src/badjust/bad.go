@@ -1,0 +1,7 @@
+// Package badjust holds a directive with no justification: the driver
+// must report the directive AND keep the analyzer armed.
+package badjust
+
+//lint:allow floatcompare
+
+func cmp(a, b float64) bool { return a == b }

@@ -1,0 +1,14 @@
+// Package directives proves the driver validates lint directives: a
+// typo cannot silently disable nothing.
+package directives
+
+//lint:allow nosuchanalyzer because reasons // want "unknown analyzer"
+
+//lint:frobnicate floatcompare because reasons // want "unknown lint directive verb"
+
+//lint:ignore floatcompare the next line is sanctioned by this fixture
+func suppressed(a, b float64) bool { return a == b }
+
+func unsuppressed(a, b float64) bool {
+	return a == b // want "floating-point == comparison"
+}

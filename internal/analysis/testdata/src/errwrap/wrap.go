@@ -1,0 +1,25 @@
+// Package errwrap is an errwrap fixture: fmt.Errorf formatting an
+// error must wrap it with %w.
+package errwrap
+
+import "fmt"
+
+func flattens(err error) error {
+	return fmt.Errorf("context: %v", err) // want "without %w"
+}
+
+func wraps(err error) error {
+	return fmt.Errorf("context: %w", err)
+}
+
+func wrapsBoth(a, b error) error {
+	return fmt.Errorf("%w and %w", a, b)
+}
+
+func wrapsOneOfTwo(a, b error) error {
+	return fmt.Errorf("%w and %v", a, b) // want "without %w"
+}
+
+func stringsAreFine(msg string) error {
+	return fmt.Errorf("context: %s", msg)
+}

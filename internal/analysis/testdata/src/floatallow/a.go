@@ -1,0 +1,9 @@
+// Package floatallow proves the file scope of //lint:allow: this file
+// opts in to bitwise comparison, its sibling b.go does not.
+package floatallow
+
+//lint:allow floatcompare bit equality is this fixture file's contract
+
+func bitEqual(a, b float64) bool {
+	return a == b
+}

@@ -1,0 +1,5 @@
+package floatallow
+
+func sibling(a, b float64) bool {
+	return a == b // want "floating-point == comparison"
+}

@@ -1,0 +1,20 @@
+// Package floats is a floatcompare fixture.
+package floats
+
+import "math"
+
+func equal(a, b float64) bool {
+	return a == b // want "floating-point == comparison"
+}
+
+func notEqual(a, b float32) bool {
+	return a != b // want "floating-point != comparison"
+}
+
+func tolerant(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func ints(a, b int) bool {
+	return a == b
+}

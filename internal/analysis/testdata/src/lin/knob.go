@@ -1,0 +1,27 @@
+// Package lin is a workersknob fixture standing in for internal/lin:
+// kernel parallelism must come from the Workers knob.
+package lin
+
+import "runtime"
+
+// Workers is the fixture's stand-in for the sanctioned knob.
+var Workers int
+
+func bypasses(work []func()) {
+	n := runtime.NumCPU() // want "bypasses the Workers knob"
+	_ = n
+	for _, w := range work {
+		go w() // want "bare go statement"
+	}
+}
+
+func sanctioned(work []func()) {
+	n := Workers
+	if n < 1 {
+		n = 1
+	}
+	for _, w := range work {
+		w()
+	}
+	_ = n
+}

@@ -1,0 +1,10 @@
+package lin
+
+import "runtime"
+
+// Test files are exempt: sweeping Workers across NumCPU and spinning
+// harness goroutines is how the knob's invariance gets verified.
+func helperForTests() int {
+	go func() {}()
+	return runtime.NumCPU()
+}

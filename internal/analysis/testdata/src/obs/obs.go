@@ -1,0 +1,37 @@
+// Package obs is an obssafety fixture standing in for internal/obs:
+// every method on *Span must be nil-safe, so the receiver needs a nil
+// guard before any field access.
+package obs
+
+// Span is the fixture's nil-safe span.
+type Span struct {
+	name string
+	vals map[string]int64
+}
+
+// SetInt guards the receiver before touching fields.
+func (s *Span) SetInt(k string, v int64) {
+	if s == nil {
+		return
+	}
+	s.vals[k] = v
+}
+
+// Name forgets the guard.
+func (s *Span) Name() string {
+	return s.name // want "touches receiver fields before"
+}
+
+// End delegates to a guarded method; the callee carries the guard.
+func (s *Span) End() {
+	s.SetInt("done", 1)
+}
+
+// Len's compound guard is safe: short-circuit evaluation protects the
+// field access on the right of the ||.
+func (s *Span) Len() int {
+	if s == nil || len(s.vals) == 0 {
+		return 0
+	}
+	return len(s.vals)
+}

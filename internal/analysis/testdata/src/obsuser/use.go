@@ -1,0 +1,18 @@
+// Package obsuser is the outside-obs half of the obssafety fixture:
+// instrumented code must call span methods unconditionally, never
+// branch on nil.
+package obsuser
+
+import "obs"
+
+func record(sp *obs.Span) {
+	if sp != nil { // want "nil-safe by contract"
+		sp.SetInt("m", 1)
+	}
+	sp.SetInt("n", 2)
+}
+
+func fine(sp *obs.Span) {
+	sp.SetInt("k", 3)
+	sp.End()
+}

@@ -1,0 +1,7 @@
+// Package other sits outside every scoped analyzer's AppliesTo: its
+// bare go statement must not be flagged.
+package other
+
+func fanOut(fn func()) {
+	go fn()
+}

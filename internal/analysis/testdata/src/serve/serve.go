@@ -1,0 +1,48 @@
+// Package serve is a muguard fixture standing in for internal/serve:
+// fields annotated `guarded by mu` may only be touched holding the
+// mutex.
+package serve
+
+import "sync"
+
+type server struct {
+	mu    sync.Mutex
+	hits  int64 // guarded by mu
+	limit int
+}
+
+func (s *server) good() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits
+}
+
+func (s *server) bad() int64 {
+	return s.hits // want "not held"
+}
+
+func (s *server) unguardedFieldIsFree() int {
+	return s.limit
+}
+
+func (s *server) staleAfterUnlock() {
+	s.mu.Lock()
+	s.hits++
+	s.mu.Unlock()
+	s.hits++ // want "not held"
+}
+
+func (s *server) branchesMerge(b bool) int64 {
+	s.mu.Lock()
+	if b {
+		s.hits++
+	} else {
+		s.hits--
+	}
+	defer s.mu.Unlock()
+	return s.hits
+}
+
+type dangling struct {
+	n int // guarded by lock // want "no sync.Mutex"
+}

@@ -1,0 +1,9 @@
+// Package tsqr is a workersknob fixture: a file-scope allow directive
+// opts the sanctioned pool file out wholesale.
+package tsqr
+
+//lint:allow workersknob this file is the fixture's sanctioned worker pool
+
+func spawn(fn func()) {
+	go fn()
+}

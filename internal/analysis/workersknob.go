@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// workersknob: the kernel packages' parallelism comes from the Workers
+// knob, dispatched through the one sanctioned worker pool
+// (internal/lin/parallel.go, which opts out with //lint:allow). Any
+// other runtime.NumCPU() read or bare `go` statement in internal/lin,
+// internal/core, or internal/tsqr bypasses the knob: a caller that set
+// Workers=1 for bitwise reproducibility (or a server capping kernel
+// goroutines per rank) would silently fan out anyway.
+var WorkersKnob = &Analyzer{
+	Name: "workersknob",
+	Doc:  "kernel parallelism must come from the Workers knob, not runtime.NumCPU or bare go statements",
+	AppliesTo: func(pkgPath string) bool {
+		return pathIn(pkgPath, "cacqr/internal/lin", "cacqr/internal/core", "cacqr/internal/tsqr")
+	},
+	Run: runWorkersKnob,
+}
+
+func runWorkersKnob(pass *Pass) error {
+	for _, f := range pass.Files {
+		// Tests are exempt: sweeping Workers ∈ {1, 4, NumCPU} and
+		// spinning harness goroutines is how the knob's bit-invariance
+		// is *verified*, not a bypass of it.
+		if name := pass.Fset.Position(f.Package).Filename; strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(), "bare go statement fans out outside the Workers pool; dispatch through the sanctioned pool so the Workers knob stays authoritative")
+			case *ast.CallExpr:
+				if isPkgFunc(pass.TypesInfo, n, "runtime", "NumCPU") {
+					pass.Reportf(n.Pos(), "runtime.NumCPU bypasses the Workers knob; take the worker count from Workers")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isPkgFunc reports whether call invokes the package-level function
+// pkg.name (resolved through the type checker, so aliases and shadowing
+// don't fool it).
+func isPkgFunc(info *types.Info, call *ast.CallExpr, pkg, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := info.Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Name() != name {
+		return false
+	}
+	// Package-level function: no receiver, declared in pkg.
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return false
+	}
+	return fn.Pkg() != nil && fn.Pkg().Path() == pkg
+}

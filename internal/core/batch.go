@@ -126,9 +126,9 @@ func batchedPass(a *lin.Slab, workers int, shifted bool, errs []error) (q *lin.S
 		l, y, err := lin.CholInv(wi)
 		if err != nil {
 			if shifted {
-				errs[i] = fmt.Errorf("%w: shifted Gram still indefinite: %v", ErrIllConditioned, err)
+				errs[i] = fmt.Errorf("%w: shifted Gram still indefinite: %w", ErrIllConditioned, err)
 			} else {
-				errs[i] = fmt.Errorf("%w: %v", ErrIllConditioned, err)
+				errs[i] = fmt.Errorf("%w: %w", ErrIllConditioned, err)
 			}
 			return
 		}

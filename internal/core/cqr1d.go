@@ -89,9 +89,9 @@ func oneDCholeskyQR(comm transport.Comm, aLocal *lin.Matrix, m, n, workers int, 
 	l, y, err := lin.CholInv(z)
 	if err != nil {
 		if shifted {
-			return nil, nil, fmt.Errorf("%w: shifted Gram still indefinite: %v", ErrIllConditioned, err)
+			return nil, nil, fmt.Errorf("%w: shifted Gram still indefinite: %w", ErrIllConditioned, err)
 		}
-		return nil, nil, fmt.Errorf("%w: %v", ErrIllConditioned, err)
+		return nil, nil, fmt.Errorf("%w: %w", ErrIllConditioned, err)
 	}
 	if err := p.Compute(lin.CholFlops(n) + lin.TriInvFlops(n)); err != nil {
 		return nil, nil, err

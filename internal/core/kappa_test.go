@@ -1,5 +1,7 @@
 package core
 
+//lint:allow floatcompare tests assert bitwise reproducibility, which is this library's documented contract
+
 import (
 	"errors"
 	"fmt"

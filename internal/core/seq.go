@@ -36,7 +36,7 @@ func CholeskyQR(a *lin.Matrix, workers int) (q, r *lin.Matrix, err error) {
 	w := lin.SyrkNewParallel(workers, a)
 	l, y, err := lin.CholInv(w)
 	if err != nil {
-		return nil, nil, fmt.Errorf("%w: %v", ErrIllConditioned, err)
+		return nil, nil, fmt.Errorf("%w: %w", ErrIllConditioned, err)
 	}
 	// Q = A·R⁻¹ = A·(L⁻¹)ᵀ, applied as a triangular multiply: Y = L⁻¹ is
 	// lower triangular, so the dense GEMM formulation would spend half its
@@ -88,7 +88,7 @@ func ShiftedCholeskyQR(a *lin.Matrix, workers int) (q, r *lin.Matrix, err error)
 	}
 	l, y, err := lin.CholInv(w)
 	if err != nil {
-		return nil, nil, fmt.Errorf("%w: shifted Gram still indefinite: %v", ErrIllConditioned, err)
+		return nil, nil, fmt.Errorf("%w: shifted Gram still indefinite: %w", ErrIllConditioned, err)
 	}
 	q = a.Clone()
 	lin.TrmmParallel(workers, lin.Right, lin.Lower, true, y, q)

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"cacqr/internal/lin"
+)
+
+// Regression for the error chains the errwrap analyzer surfaced: the
+// ill-conditioned wrappers used "%w: %v", which kept ErrIllConditioned
+// routable but flattened the Cholesky breakdown underneath it —
+// errors.Is(err, lin.ErrNotPositiveDefinite) silently went false, so a
+// caller could not distinguish "Gram indefinite" from any other
+// planner/kernel failure inside the ill-conditioned path.
+func TestIllConditionedKeepsCholeskyCause(t *testing.T) {
+	// Rank-deficient input: column 1 is twice column 0, so the Gram
+	// matrix is exactly singular and Cholesky must break down.
+	a := lin.NewMatrix(4, 2)
+	for i := 0; i < 4; i++ {
+		a.Set(i, 0, float64(i+1))
+		a.Set(i, 1, 2*float64(i+1))
+	}
+	for _, tc := range []struct {
+		name string
+		run  func() error
+	}{
+		{"CholeskyQR", func() error { _, _, err := CholeskyQR(a, 1); return err }},
+		{"CholeskyQR2", func() error { _, _, err := CholeskyQR2(a, 1); return err }},
+	} {
+		err := tc.run()
+		if err == nil {
+			t.Fatalf("%s factored a rank-deficient matrix without error", tc.name)
+		}
+		if !errors.Is(err, ErrIllConditioned) {
+			t.Errorf("%s: %v does not wrap ErrIllConditioned", tc.name, err)
+		}
+		if !errors.Is(err, lin.ErrNotPositiveDefinite) {
+			t.Errorf("%s: %v severed the Cholesky cause — errors.Is(err, lin.ErrNotPositiveDefinite) = false", tc.name, err)
+		}
+	}
+}
+
+// The batched path carries the same chain per item.
+func TestBatchedIllConditionedKeepsCause(t *testing.T) {
+	good := lin.NewMatrix(4, 2)
+	bad := lin.NewMatrix(4, 2)
+	for i := 0; i < 4; i++ {
+		good.Set(i, 0, float64(i+1))
+		good.Set(i, 1, float64((i*i)%5)+1)
+		bad.Set(i, 0, float64(i+1))
+		bad.Set(i, 1, 2*float64(i+1))
+	}
+	_, _, errs := BatchedCQR2([]*lin.Matrix{good, bad}, 1)
+	if errs[0] != nil {
+		t.Fatalf("well-conditioned member failed: %v", errs[0])
+	}
+	if errs[1] == nil {
+		t.Fatal("rank-deficient member factored without error")
+	}
+	if !errors.Is(errs[1], ErrIllConditioned) || !errors.Is(errs[1], lin.ErrNotPositiveDefinite) {
+		t.Fatalf("batched error %v lost part of its chain", errs[1])
+	}
+}

@@ -19,7 +19,7 @@ func errMentions(err error, substr string) error {
 		return fmt.Errorf("expected an error mentioning %q, got nil", substr)
 	}
 	if !strings.Contains(err.Error(), substr) {
-		return fmt.Errorf("error %q does not mention %q", err, substr)
+		return fmt.Errorf("error %q does not mention %q", err.Error(), substr)
 	}
 	return nil
 }

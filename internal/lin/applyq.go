@@ -1,5 +1,7 @@
 package lin
 
+//lint:allow floatcompare exact zero tests are structural fast paths and bit-identity is the kernel contract, not data tolerance checks
+
 // Implicit application of the Householder Q factor. Forming Q explicitly
 // costs 2mn² flops and m×n storage; applying it to a k-column block costs
 // only ~4mnk, which is what solvers want for k ≪ n.

@@ -1,5 +1,7 @@
 package lin
 
+//lint:allow floatcompare exact zero tests are structural fast paths and bit-identity is the kernel contract, not data tolerance checks
+
 // Level-3 kernels: GEMM, SYRK, TRSM, TRMM. All are cache-blocked with a
 // fixed tile size; correctness, not peak rate, is the goal (the cost model
 // owns rates). Each kernel documents its flop count so instrumentation in

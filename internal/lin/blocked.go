@@ -1,5 +1,7 @@
 package lin
 
+//lint:allow floatcompare exact zero tests are structural fast paths and bit-identity is the kernel contract, not data tolerance checks
+
 // Goroutine-parallel variants of the cache-blocked level-3 kernels. Each
 // partitions the output into disjoint row or column ranges and runs the
 // serial blocked kernel (or its exact loop body) on views, scheduled on

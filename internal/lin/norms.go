@@ -1,5 +1,7 @@
 package lin
 
+//lint:allow floatcompare exact zero tests are structural fast paths and bit-identity is the kernel contract, not data tolerance checks
+
 import "math"
 
 // Norms and error metrics used by the correctness tests and the accuracy

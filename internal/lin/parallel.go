@@ -1,5 +1,7 @@
 package lin
 
+//lint:allow workersknob this file IS the sanctioned worker pool the knob dispatches through
+
 import (
 	"runtime"
 	"sync"

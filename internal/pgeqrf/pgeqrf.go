@@ -1,5 +1,7 @@
 package pgeqrf
 
+//lint:allow floatcompare exact zero tests are structural fast paths and bit-identity is the kernel contract, not data tolerance checks
+
 import (
 	"fmt"
 	"math"

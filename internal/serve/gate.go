@@ -21,9 +21,9 @@ var ErrOverloaded = errors.New("serve: overloaded: pending-request bound reached
 // every entry eventually times out anyway.
 type admission struct {
 	mu         sync.Mutex
-	pending    int
-	max        int
-	overloaded int64
+	pending    int   // guarded by mu
+	max        int   // immutable after newAdmission
+	overloaded int64 // guarded by mu
 }
 
 func newAdmission(max int) *admission {
@@ -73,8 +73,8 @@ func (ad *admission) usage() (pending, max int, overloaded int64) {
 type rankGate struct {
 	mu    sync.Mutex
 	cond  *sync.Cond
-	avail int
-	cap   int
+	avail int // guarded by mu
+	cap   int // immutable after newRankGate
 }
 
 func newRankGate(budget int) *rankGate {

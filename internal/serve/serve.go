@@ -158,19 +158,19 @@ type Server struct {
 	// histogram map, and the inflight/fusing maps — one lock, so Stats
 	// snapshots are internally consistent.
 	mu       sync.Mutex
-	cache    *planCache
-	closed   bool
-	closing  chan struct{} // closed by Close; wakes batch/fuse windows
-	inflight map[plan.CacheKey]*batch
-	fusing   map[plan.CacheKey]*fuseGroup
+	cache    *planCache                   // guarded by mu
+	closed   bool                         // guarded by mu
+	closing  chan struct{}                // closed by Close; wakes batch/fuse windows (immutable after New)
+	inflight map[plan.CacheKey]*batch     // guarded by mu
+	fusing   map[plan.CacheKey]*fuseGroup // guarded by mu
 	wg       sync.WaitGroup
 
-	requests                    int64
-	lookups, hits, misses       int64
-	evictions                   int64
-	planned, batched, leads     int64
-	fusedBatches, fusedRequests int64
-	hists                       map[string]*hist.Window
+	requests                    int64                   // guarded by mu
+	lookups, hits, misses       int64                   // guarded by mu
+	evictions                   int64                   // guarded by mu
+	planned, batched, leads     int64                   // guarded by mu
+	fusedBatches, fusedRequests int64                   // guarded by mu
+	hists                       map[string]*hist.Window // guarded by mu
 }
 
 // batch is one in-flight plan lookup that same-key requests share.

@@ -48,6 +48,25 @@ func readFileHeader(r io.Reader) (m, n int, err error) {
 	return m, n, nil
 }
 
+// checkFileSize validates the header's dims against the bytes actually
+// on disk, so a malformed or truncated header can never make a reader
+// allocate panel buffers sized by fictitious dimensions. The product is
+// checked in uint64 before int64 math can overflow.
+func checkFileSize(size int64, m, n int) error {
+	if size < headerSize {
+		return fmt.Errorf("stream: matrix file of %d bytes is shorter than its header", size)
+	}
+	elems := uint64(m) * uint64(n)
+	if uint64(m) != 0 && elems/uint64(m) != uint64(n) ||
+		elems > (uint64(1<<63-1)-headerSize)/8 {
+		return fmt.Errorf("stream: matrix file dims %dx%d overflow", m, n)
+	}
+	if want := int64(headerSize) + 8*int64(elems); size != want {
+		return fmt.Errorf("stream: matrix file is %d bytes, want %d for %dx%d", size, want, m, n)
+	}
+	return nil
+}
+
 // FileSource streams panels from a matrix file written by FileSink (or
 // WriteFile). Panels are read sequentially through one buffered reader;
 // Reset seeks back to the first data byte, so the driver's two passes
@@ -69,6 +88,15 @@ func OpenFile(path string) (*FileSource, error) {
 	br := bufio.NewReaderSize(f, 1<<20)
 	m, n, err := readFileHeader(br)
 	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := checkFileSize(st.Size(), m, n); err != nil {
 		f.Close()
 		return nil, err
 	}

@@ -6,6 +6,8 @@
 // every distributed algorithm in the repository.
 package conformancetest
 
+//lint:allow floatcompare conformance asserts payloads arrive bit-identical across transports
+
 import (
 	"fmt"
 	"math"

@@ -207,7 +207,7 @@ func runWorkerJob(ctrl net.Conn, reg *meshRegistry, h Handler, hdr jobHeader) {
 		select {
 		case <-monitorDone:
 		default:
-			n.fail(fmt.Errorf("tcpnet: coordinator connection lost: %v", err))
+			n.fail(fmt.Errorf("tcpnet: coordinator connection lost: %w", err))
 		}
 	}()
 

@@ -27,6 +27,7 @@ func TestTracedCollectiveSpans(t *testing.T) {
 	if _, err := simmpi.Run(np, func(sp *simmpi.Proc) error {
 		p := transport.Traced(sp, rankSpans[sp.Rank()])
 
+		//lint:ignore obssafety the test asserts the traced proc actually carries a span, which is the point
 		if st := obs.StagesOf(p); st == nil {
 			return fmt.Errorf("rank %d: traced proc is not a SpanCarrier", sp.Rank())
 		}

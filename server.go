@@ -171,6 +171,7 @@ func NewServer(o ServerOptions) (*Server, error) {
 	if err := checkOptions(o.Options); err != nil {
 		return nil, err
 	}
+	//lint:ignore floatcompare 0 is the unset sentinel for CondEst, never a computed estimate
 	if o.Options.CondEst != 0 {
 		return nil, fmt.Errorf("cacqr: ServerOptions.Options.CondEst must be unset (conditioning is per-request)")
 	}
@@ -212,7 +213,8 @@ func (s *Server) SubmitCtx(ctx context.Context, req SubmitRequest) (*SubmitResul
 	res, err := s.submit(ctx, req)
 	if res != nil {
 		res.TraceID = tr.ID()
-		if root := tr.Root(); root != nil && res.Plan != nil {
+		if res.Plan != nil {
+			root := tr.Root()
 			root.SetStr("variant", string(res.Plan.Variant))
 			root.SetBool("cache_hit", res.PlanCacheHit)
 		}
@@ -233,11 +235,10 @@ func (s *Server) submit(ctx context.Context, req SubmitRequest) (*SubmitResult, 
 	if err != nil {
 		return nil, err
 	}
-	if root := obs.FromContext(ctx); root != nil {
-		root.SetInt("m", int64(req.A.Rows))
-		root.SetInt("n", int64(req.A.Cols))
-		root.SetInt("kappa_bucket", int64(plan.KappaBucket(cond)))
-	}
+	root := obs.FromContext(ctx)
+	root.SetInt("m", int64(req.A.Rows))
+	root.SetInt("n", int64(req.A.Cols))
+	root.SetInt("kappa_bucket", int64(plan.KappaBucket(cond)))
 	if s.opts.FuseWindow > 0 {
 		return s.submitFused(ctx, preq, req, cond)
 	}
@@ -282,7 +283,8 @@ func (s *Server) SubmitStreamCtx(ctx context.Context, req StreamRequest) (*Submi
 	res, err := s.submitStream(ctx, req)
 	if res != nil {
 		res.TraceID = tr.ID()
-		if root := tr.Root(); root != nil && res.Plan != nil {
+		if res.Plan != nil {
+			root := tr.Root()
 			root.SetStr("variant", string(res.Plan.Variant))
 			root.SetBool("cache_hit", res.PlanCacheHit)
 		}
@@ -297,6 +299,7 @@ func (s *Server) submitStream(ctx context.Context, req StreamRequest) (*SubmitRe
 	if req.Source == nil {
 		return nil, fmt.Errorf("cacqr: SubmitStream needs a source")
 	}
+	//lint:ignore floatcompare 0 is the unset sentinel for CondEst, never a computed estimate
 	if req.CondEst != 0 {
 		if err := checkOptions(Options{CondEst: req.CondEst}); err != nil {
 			return nil, err
@@ -313,11 +316,10 @@ func (s *Server) submitStream(ctx context.Context, req StreamRequest) (*SubmitRe
 	// Streaming is single-rank; Procs = 1 keeps the plan cache key and
 	// the rank-gate claim honest.
 	preq := planRequest(m, n, 1, opts)
-	if root := obs.FromContext(ctx); root != nil {
-		root.SetInt("m", int64(m))
-		root.SetInt("n", int64(n))
-		root.SetInt("mem_budget", budget)
-	}
+	root := obs.FromContext(ctx)
+	root.SetInt("m", int64(m))
+	root.SetInt("n", int64(n))
+	root.SetInt("mem_budget", budget)
 	sp := obs.FromContext(ctx)
 	out := &SubmitResult{CondEst: req.CondEst}
 	pl, hit, err := s.inner.Do(ctx, preq, func(p plan.Plan) error {
@@ -382,6 +384,7 @@ func (s *Server) countRequest(req SubmitRequest, res *SubmitResult, err error) {
 		}
 		hit = res.PlanCacheHit
 		bucket = strconv.Itoa(plan.KappaBucket(res.CondEst))
+	//lint:ignore floatcompare 0 is the unset sentinel for CondEst, never a computed estimate
 	} else if req.CondEst != 0 {
 		bucket = strconv.Itoa(plan.KappaBucket(req.CondEst))
 	}
@@ -409,6 +412,7 @@ func (s *Server) prepare(req SubmitRequest) (plan.Request, float64, error) {
 	if req.B != nil && len(req.B) != req.A.Rows {
 		return plan.Request{}, 0, fmt.Errorf("cacqr: rhs length %d for %d rows", len(req.B), req.A.Rows)
 	}
+	//lint:ignore floatcompare 0 is the unset sentinel for CondEst, never a computed estimate
 	if req.CondEst != 0 {
 		if err := checkOptions(Options{CondEst: req.CondEst}); err != nil {
 			return plan.Request{}, 0, err
@@ -422,6 +426,7 @@ func (s *Server) prepare(req SubmitRequest) (plan.Request, float64, error) {
 		return plan.Request{}, 0, fmt.Errorf("cacqr: invalid processor budget %d", procs)
 	}
 	cond := req.CondEst
+	//lint:ignore floatcompare 0 is the unset sentinel for CondEst, never a computed estimate
 	if cond == 0 {
 		cond = lin.EstimateCond(req.A.toLin(), condEstIters)
 	}

@@ -92,6 +92,7 @@ func factorizeFixedCondAware(a *Dense, spec GridSpec, opts Options) (*Result, er
 			m, n, spec.C, spec.D, spec.C)
 	}
 	cond := opts.CondEst
+	//lint:ignore floatcompare 0 is the unset sentinel for CondEst, never a computed estimate
 	if cond == 0 {
 		cond = lin.EstimateCond(a.toLin(), condEstIters)
 	}
